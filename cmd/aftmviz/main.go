@@ -1,0 +1,76 @@
+// Command aftmviz renders an app's Activity & Fragment Transition Model as
+// Graphviz DOT — the static model by default, or the evolved model with
+// visited markings after a full exploration (-explored).
+//
+// Usage:
+//
+//	aftmviz -app demo > aftm.dot
+//	aftmviz -app com.inditex.zara -explored | dot -Tsvg > aftm.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/explorer"
+	"fragdroid/internal/statics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aftmviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aftmviz", flag.ContinueOnError)
+	var (
+		appArg   = fs.String("app", "demo", "corpus app name or path to a .sapk archive")
+		explored = fs.Bool("explored", false, "run the full exploration and mark visited nodes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := loadApp(*appArg)
+	if err != nil {
+		return err
+	}
+	if *explored {
+		res, err := explorer.Explore(app, explorer.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Model.DOT(app.Manifest.Package + " (explored)"))
+		return nil
+	}
+	ex, err := statics.Extract(app)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ex.Model.DOT(app.Manifest.Package + " (static)"))
+	return nil
+}
+
+func loadApp(arg string) (*apk.App, error) {
+	if strings.HasSuffix(arg, ".sapk") {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return apk.LoadBytes(data)
+	}
+	if arg == "demo" || arg == "com.demo.app" {
+		return corpus.BuildApp(corpus.DemoSpec())
+	}
+	for _, row := range corpus.PaperRows() {
+		if row.Package == arg {
+			return corpus.BuildApp(corpus.PaperSpec(row))
+		}
+	}
+	return nil, fmt.Errorf("unknown app %q", arg)
+}

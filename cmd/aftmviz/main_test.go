@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunStatic(t *testing.T) {
+	if err := run([]string{"-app", "demo"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunExplored(t *testing.T) {
+	if err := run([]string{"-app", "demo", "-explored"}); err != nil {
+		t.Fatalf("run -explored: %v", err)
+	}
+}
+
+func TestRunPaperApp(t *testing.T) {
+	if err := run([]string{"-app", "au.com.digitalstampede.formula"}); err != nil {
+		t.Fatalf("run paper app: %v", err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"-app", "nope"}); err == nil {
+		t.Fatal("unknown app: want error")
+	}
+}

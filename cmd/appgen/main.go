@@ -1,0 +1,85 @@
+// Command appgen writes the synthetic application corpus to disk as .sapk
+// archives: the demo app, the 15 Table I apps, or the 217-app study corpus.
+//
+// Usage:
+//
+//	appgen -out ./apps                 # demo + the 15 paper apps
+//	appgen -out ./apps -corpus study   # the 217-app study corpus
+//	appgen -out ./apps -corpus demo    # just the demo app
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/corpus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "appgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("appgen", flag.ContinueOnError)
+	var (
+		out   = fs.String("out", "apps", "output directory")
+		which = fs.String("corpus", "paper", "which corpus: demo, paper, study")
+		seed  = fs.Int64("seed", 1, "seed for the study corpus shapes")
+		quiet = fs.Bool("q", false, "suppress per-file output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	var specs []*corpus.AppSpec
+	switch *which {
+	case "demo":
+		specs = []*corpus.AppSpec{corpus.DemoSpec()}
+	case "paper":
+		specs = append(specs, corpus.DemoSpec())
+		for _, row := range corpus.PaperRows() {
+			specs = append(specs, corpus.PaperSpec(row))
+		}
+	case "study":
+		specs = corpus.StudySpecs(*seed)
+	default:
+		return fmt.Errorf("unknown corpus %q", *which)
+	}
+
+	for _, spec := range specs {
+		arch, err := corpus.BuildArchive(spec)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*out, spec.Package+".sapk")
+		if err := writeArchive(arch, path); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s (%d entries)\n", path, arch.Len())
+		}
+	}
+	fmt.Printf("%d app archives written to %s\n", len(specs), *out)
+	return nil
+}
+
+func writeArchive(a *apk.Archive, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := a.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,323 @@
+// Command fragdroid runs the full FragDroid pipeline — static extraction and
+// evolutionary UI exploration — on one synthetic application package and
+// reports coverage and sensitive-API findings.
+//
+// Usage:
+//
+//	fragdroid -app com.adobe.reader            # a built-in corpus app
+//	fragdroid -app ./myapp.sapk                # an app archive on disk
+//	fragdroid -app demo -inputs inputs.json    # with an analyst input file
+//	fragdroid -list                            # list built-in corpus apps
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/device"
+	"fragdroid/internal/explorer"
+	"fragdroid/internal/jdcore"
+	"fragdroid/internal/report"
+	"fragdroid/internal/robotium"
+	"fragdroid/internal/sensitive"
+	"fragdroid/internal/statics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fragdroid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fragdroid", flag.ContinueOnError)
+	var (
+		appArg       = fs.String("app", "demo", "corpus app name, package, or path to a .sapk archive")
+		list         = fs.Bool("list", false, "list built-in corpus apps and exit")
+		inputsPath   = fs.String("inputs", "", "filled-in input dependency JSON file")
+		noReflection = fs.Bool("no-reflection", false, "disable the reflective fragment switch")
+		noForced     = fs.Bool("no-forced-start", false, "disable forced empty-Intent starts")
+		maxCases     = fs.Int("max-cases", 2000, "test case budget")
+		verbose      = fs.Bool("v", false, "print the exploration transcript")
+		emitMeta     = fs.Bool("meta", false, "print the static-phase metadata JSON and exit")
+		emitJava     = fs.Bool("java", false, "print the jd-core style Java reconstruction and exit")
+		emitTests    = fs.String("emit-tests", "", "write the generated Robotium test programs (and build.xml) to this directory")
+		markdown     = fs.Bool("md", false, "print a markdown report instead of the plain summary")
+		curveCSV     = fs.Bool("curve", false, "append the coverage-vs-test-case curve as CSV")
+		runTest      = fs.String("run-test", "", "execute a stored test-case JSON file on the app and exit")
+		target       = fs.String("target", "", "targeted mode: drive the app until this sensitive API fires (e.g. location/getProviders)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println("built-in corpus apps:")
+		fmt.Println("  demo")
+		for _, row := range corpus.PaperRows() {
+			fmt.Printf("  %s\n", row.Package)
+		}
+		return nil
+	}
+
+	app, err := loadApp(*appArg)
+	if err != nil {
+		return err
+	}
+
+	if *emitMeta {
+		ex, err := statics.Extract(app)
+		if err != nil {
+			return err
+		}
+		data, err := ex.MetaJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if *emitJava {
+		jp := jdcore.Decompile(app.Program)
+		for _, name := range jp.Names() {
+			fmt.Println(jdcore.RenderJava(jp.Class(name)))
+		}
+		return nil
+	}
+	if *runTest != "" {
+		return replayTest(app, *runTest)
+	}
+
+	cfg := explorer.DefaultConfig()
+	cfg.UseReflection = !*noReflection
+	cfg.UseForcedStart = !*noForced
+	cfg.MaxTestCases = *maxCases
+	if *inputsPath != "" {
+		data, err := os.ReadFile(*inputsPath)
+		if err != nil {
+			return err
+		}
+		vals, err := statics.ParseInputValues(data)
+		if err != nil {
+			return err
+		}
+		cfg.Inputs = vals
+	}
+
+	if *target != "" {
+		ex, err := statics.Extract(app)
+		if err != nil {
+			return err
+		}
+		tr, err := explorer.ExploreTarget(ex, cfg, *target)
+		if err != nil {
+			return err
+		}
+		printTargetResult(tr)
+		return nil
+	}
+
+	res, err := explorer.Explore(app, cfg)
+	if err != nil {
+		return err
+	}
+	if *markdown {
+		fmt.Print(report.RenderAppReport(app.Manifest.Package, res))
+	} else {
+		printResult(app.Manifest.Package, res, *verbose)
+	}
+	if *emitTests != "" {
+		if err := writeTestPrograms(*emitTests, app.Manifest.Package, res); err != nil {
+			return err
+		}
+	}
+	if *curveCSV {
+		fmt.Println("\ntest_case,activities,fragments")
+		for _, p := range res.Curve {
+			fmt.Printf("%d,%d,%d\n", p.TestCase, p.Activities, p.Fragments)
+		}
+	}
+	return nil
+}
+
+// replayTest loads a stored test-case JSON file and executes it on a fresh
+// device, reporting the landing state.
+func replayTest(app *apk.App, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	script, err := robotium.ParseScript(data)
+	if err != nil {
+		return err
+	}
+	d := device.New(app, device.Options{})
+	res := robotium.Run(d, script, robotium.Options{AutoDismiss: true})
+	fmt.Printf("executed %d/%d ops\n", res.Executed, len(script.Ops))
+	if res.Err != nil {
+		return fmt.Errorf("test failed at %q: %w", res.FailedOp, res.Err)
+	}
+	dump, err := d.Dump()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("landed on %s", dump.Activity)
+	if len(dump.FMFragments) > 0 {
+		fmt.Printf(" with fragments %s", strings.Join(dump.FMFragments, ", "))
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeTestPrograms dumps the generated Robotium test programs (both the
+// Java render and the replayable JSON) plus an Ant build file, mirroring the
+// paper's packaging step.
+func writeTestPrograms(dir, pkg string, res *explorer.Result) error {
+	src := filepath.Join(dir, "src")
+	if err := os.MkdirAll(src, 0o755); err != nil {
+		return err
+	}
+	programs := res.TestPrograms()
+	for _, p := range programs {
+		if err := os.WriteFile(filepath.Join(src, p.Name+".java"), []byte(p.Java), 0o644); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(p.Script, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(src, p.Name+".json"), data, 0o644); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "build.xml"),
+		[]byte(explorer.BuildXML(pkg, programs)), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %d test programs and build.xml to %s\n", len(programs), dir)
+	return nil
+}
+
+// loadApp resolves the -app argument to a loaded bundle.
+func loadApp(arg string) (*apk.App, error) {
+	if strings.HasSuffix(arg, ".sapk") {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return apk.LoadBytes(data)
+	}
+	if arg == "demo" || arg == "com.demo.app" {
+		return corpus.BuildApp(corpus.DemoSpec())
+	}
+	for _, row := range corpus.PaperRows() {
+		if row.Package == arg {
+			return corpus.BuildApp(corpus.PaperSpec(row))
+		}
+	}
+	return nil, fmt.Errorf("unknown app %q (try -list)", arg)
+}
+
+func printResult(pkg string, res *explorer.Result, verbose bool) {
+	ex := res.Extraction
+	va, sa := len(res.VisitedActivities()), len(ex.EffectiveActivities)
+	vf, sf := len(res.VisitedFragments()), len(ex.EffectiveFragments)
+	fv, fsum := res.FragmentsInVisitedActivities()
+	fmt.Printf("package: %s\n", pkg)
+	fmt.Printf("activities: %d/%d visited (%.2f%%)\n", va, sa, pct(va, sa))
+	fmt.Printf("fragments:  %d/%d visited (%.2f%%)\n", vf, sf, pct(vf, sf))
+	fmt.Printf("fragments in visited activities: %d/%d (%.2f%%)\n", fv, fsum, pct(fv, fsum))
+	fmt.Printf("test cases: %d   device steps: %d   crashes: %d\n",
+		res.TestCases, res.Steps, res.Crashes)
+
+	fmt.Println("\nvisits:")
+	for _, n := range res.Model.Nodes() {
+		v, ok := res.Visits[n]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-60s via %-12s (%d ops)\n", n.String(), v.Method, len(v.Route.Ops))
+	}
+
+	if len(res.CrashReports) > 0 {
+		fmt.Println("\ncrashes found:")
+		for _, cr := range res.CrashReports {
+			fmt.Printf("  %s (%d ops to reproduce)\n", cr.Reason, len(cr.Route.Ops))
+		}
+	}
+
+	us := res.Collector.Usages()
+	if len(us) > 0 {
+		fmt.Println("\nsensitive APIs:")
+		for _, u := range us {
+			fmt.Printf("  [%s] %-48s %s\n", u.Mark().ASCII(), u.API, strings.Join(u.Classes, ", "))
+		}
+	}
+
+	var declared []string
+	for _, p := range res.Extraction.App.Manifest.Permissions {
+		declared = append(declared, p.Name)
+	}
+	if findings := sensitive.AuditPermissions(declared, us); len(findings) > 0 {
+		fmt.Println("\npermission findings (API invoked without declared permission):")
+		for _, f := range findings {
+			fmt.Printf("  %s by %s — missing %s\n",
+				f.API, strings.Join(f.Classes, ", "), strings.Join(f.Missing, ", "))
+		}
+	}
+	if verbose {
+		fmt.Println("\ntranscript:")
+		for _, line := range res.Transcript {
+			fmt.Println("  " + line)
+		}
+	}
+}
+
+func printTargetResult(tr *explorer.TargetResult) {
+	fmt.Printf("target API: %s\n", tr.API)
+	if len(tr.Plans) == 0 {
+		fmt.Println("no static sites found — the app never calls this API")
+		return
+	}
+	fmt.Println("static sites and AFTM paths:")
+	for _, p := range tr.Plans {
+		fmt.Printf("  %s\n", p.Site)
+		if p.Path == nil {
+			fmt.Println("    (statically unreachable from the entry)")
+			continue
+		}
+		for _, e := range p.Path {
+			fmt.Printf("    %s\n", e)
+		}
+	}
+	if !tr.Triggered {
+		fmt.Printf("NOT TRIGGERED after %d test cases\n", tr.Result.TestCases)
+		return
+	}
+	fmt.Printf("TRIGGERED after %d test cases\n", tr.Result.TestCases)
+	if u := findUsage(tr); u != nil {
+		fmt.Printf("invoked by: %s\n", strings.Join(u.Classes, ", "))
+	}
+}
+
+func findUsage(tr *explorer.TargetResult) *sensitive.Usage {
+	for _, u := range tr.Result.Collector.Usages() {
+		if u.API == tr.API {
+			return &u
+		}
+	}
+	return nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

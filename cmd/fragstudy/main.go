@@ -1,0 +1,72 @@
+// Command fragstudy runs the §VII-A dataset study: scan the 217-app corpus
+// for Fragment usage and report the share (paper: "nearly 91%"). It also
+// regenerates the evaluation tables when asked.
+//
+// Usage:
+//
+//	fragstudy                   # the 217-app fragment-usage study
+//	fragstudy -table1           # the Table I coverage run (15 apps)
+//	fragstudy -table2           # the Table II sensitive-operations matrix
+//	fragstudy -compare          # FragDroid vs Activity-level MBT vs Monkey
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fragdroid/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fragstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fragstudy", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 1, "study corpus seed")
+		table1  = fs.Bool("table1", false, "run the Table I coverage evaluation")
+		table2  = fs.Bool("table2", false, "run the Table II sensitive-operations evaluation")
+		compare = fs.Bool("compare", false, "run the baseline comparison")
+		gap     = fs.Bool("gap", false, "run the static-vs-dynamic sensitive-site comparison")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *table1 || *table2 || *gap {
+		ev, err := report.RunEvaluation(report.DefaultEvalConfig())
+		if err != nil {
+			return err
+		}
+		if *table1 {
+			fmt.Println(report.RenderTable1(ev.BuildTable1()))
+		}
+		if *table2 {
+			fmt.Println(report.RenderTable2(ev.BuildTable2()))
+		}
+		if *gap {
+			fmt.Println(report.RenderGap(ev.StaticDynamicGap()))
+		}
+		return nil
+	}
+	if *compare {
+		cmp, err := report.RunComparison(report.DefaultEvalConfig(), 7, 1500)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RenderComparison(cmp))
+		return nil
+	}
+
+	res, err := report.RunStudy(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.RenderStudy(res))
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunStudy(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	if err := run([]string{"-table1", "-table2", "-gap"}); err != nil {
+		t.Fatalf("run tables: %v", err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	if err := run([]string{"-compare"}); err != nil {
+		t.Fatalf("run -compare: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag: want error")
+	}
+}

@@ -1,0 +1,29 @@
+// Baselinecompare runs FragDroid, the Activity-level model-based tester, and
+// the random Monkey over the 15-app evaluation corpus and prints the
+// comparison behind the paper's §VII-C claim that traditional approaches
+// must miss at least 9.6% of the API calls invoked in Fragments.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fragdroid/internal/report"
+)
+
+func main() {
+	fmt.Println("running FragDroid, Activity-level MBT, and Monkey over the 15-app corpus…")
+	cmp, err := report.RunComparison(report.DefaultEvalConfig(), 7, 1500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(report.RenderComparison(cmp))
+
+	for _, r := range cmp.Rows {
+		if r.System == "Activity-level MBT" {
+			fmt.Printf("Activity-level testing missed %.1f%% of the invocation relations\n", r.MissedFragmentAPIPct)
+			fmt.Println("FragDroid observed — the paper's lower bound for this loss is 9.6%.")
+		}
+	}
+}

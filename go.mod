@@ -1,0 +1,3 @@
+module fragdroid
+
+go 1.22

@@ -1,0 +1,62 @@
+package aftm_test
+
+import (
+	"fmt"
+	"log"
+
+	"fragdroid/internal/aftm"
+)
+
+// A minimal AFTM in the shape of the paper's Figure 5: an entry activity
+// with two fragments (E2), a sibling transition between them (E3), and a
+// second activity (E1).
+func ExampleModel() {
+	m := aftm.New()
+	if err := m.SetEntry(aftm.ActivityNode("A0")); err != nil {
+		log.Fatal(err)
+	}
+	edges := []struct {
+		from, to aftm.Node
+		via      string
+	}{
+		{aftm.ActivityNode("A0"), aftm.ActivityNode("A1"), aftm.ViaIntent},
+		{aftm.ActivityNode("A0"), aftm.FragmentNode("F0"), aftm.ViaTransaction},
+		{aftm.ActivityNode("A0"), aftm.FragmentNode("F1"), aftm.ViaTransaction},
+		{aftm.FragmentNode("F0"), aftm.FragmentNode("F1"), aftm.ViaClick("@id/tab")},
+	}
+	for _, e := range edges {
+		if _, err := m.AddEdge(e.from, e.to, e.via); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c := m.Count()
+	fmt.Printf("A=%d F=%d E1=%d E2=%d E3=%d\n", c.Activities, c.Fragments, c.E1, c.E2, c.E3)
+	for _, e := range m.PathTo(aftm.FragmentNode("F1")) {
+		fmt.Println(e)
+	}
+	// Output:
+	// A=2 F=2 E1=1 E2=2 E3=1
+	// A:A0 -E2-> F:F1 [transaction]
+}
+
+// MergeEdge folds the seven concrete transition types into the three basic
+// relationships of Definition 1: a fragment-to-external-fragment transition
+// becomes host→host (E1) plus host→fragment (E2).
+func ExampleModel_MergeEdge() {
+	m := aftm.New()
+	host := func(f string) (string, bool) {
+		return map[string]string{"F0": "A0", "G0": "A1"}[f], true
+	}
+	n, err := m.MergeEdge(aftm.FragmentNode("F0"), aftm.FragmentNode("G0"), aftm.ViaIntent, host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("edges added:", n)
+	for _, e := range m.Edges() {
+		fmt.Println(e)
+	}
+	// Output:
+	// edges added: 2
+	// A:A0 -E1-> A:A1 [intent]
+	// A:A1 -E2-> F:G0 [transaction]
+}

@@ -1,0 +1,78 @@
+package aftm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: whatever raw transition MergeEdge receives, the resulting model
+// only ever contains the three basic edge kinds of Definition 1 — never an
+// F→A edge, never a self edge — and repeated merging is idempotent on the
+// edge set.
+func TestQuickMergePreservesBasicKinds(t *testing.T) {
+	acts := []string{"A0", "A1", "A2"}
+	frags := []string{"F0", "F1", "F2", "G0"}
+	hosts := map[string]string{"F0": "A0", "F1": "A0", "F2": "A1", "G0": "A2"}
+	host := func(f string) (string, bool) {
+		h, ok := hosts[f]
+		return h, ok
+	}
+	node := func(kindSel, idx uint8) Node {
+		if kindSel%2 == 0 {
+			return ActivityNode(acts[int(idx)%len(acts)])
+		}
+		return FragmentNode(frags[int(idx)%len(frags)])
+	}
+
+	f := func(ops [][4]uint8) bool {
+		m := New()
+		if err := m.SetEntry(ActivityNode("A0")); err != nil {
+			return false
+		}
+		for _, op := range ops {
+			from := node(op[0], op[1])
+			to := node(op[2], op[3])
+			// Merging may legitimately error only for self-loops after host
+			// folding; any returned model state must still be well-formed.
+			_, _ = m.MergeEdge(from, to, ViaIntent, host)
+		}
+		before := m.Edges()
+		// Idempotence: replaying the same merges adds nothing.
+		for _, op := range ops {
+			from := node(op[0], op[1])
+			to := node(op[2], op[3])
+			if n, err := m.MergeEdge(from, to, ViaIntent, host); err == nil && n != 0 {
+				return false
+			}
+		}
+		after := m.Edges()
+		if len(before) != len(after) {
+			return false
+		}
+		for _, e := range after {
+			switch e.Kind {
+			case E1:
+				if e.From.Kind != KindActivity || e.To.Kind != KindActivity {
+					return false
+				}
+			case E2:
+				if e.From.Kind != KindActivity || e.To.Kind != KindFragment {
+					return false
+				}
+			case E3:
+				if e.From.Kind != KindFragment || e.To.Kind != KindFragment {
+					return false
+				}
+			default:
+				return false
+			}
+			if e.From == e.To {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package apk
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"fragdroid/internal/layout"
+	"fragdroid/internal/manifest"
+	"fragdroid/internal/res"
+	"fragdroid/internal/smali"
+)
+
+// Archive entry-path conventions.
+const (
+	ManifestPath = "AndroidManifest.xml"
+	LayoutDir    = "res/layout/"
+	SmaliDir     = "smali/"
+)
+
+// ErrPacked is returned by Load for packer-protected archives; such apps are
+// excluded from analysis, as in the paper's dataset preparation.
+var ErrPacked = errors.New("apk: package is packer-protected; cannot decompile")
+
+// App is the fully decoded, validated application bundle every other part of
+// the system works with. It is the output of the "Decompile APK" step
+// (§IV-B1): manifest, layouts, and smali program, plus the resource table
+// shared by static analysis and the device runtime.
+type App struct {
+	// Manifest is the parsed AndroidManifest.xml.
+	Manifest *manifest.Manifest
+	// Layouts maps layout resource names to their widget trees.
+	Layouts map[string]*layout.Layout
+	// Program is the decompiled smali code of the whole app.
+	Program *smali.Program
+	// Resources is the app's resource-ID table, populated from all layouts.
+	Resources *res.Table
+}
+
+// Load decodes an archive into an App. Packed archives yield ErrPacked.
+func Load(a *Archive) (*App, error) {
+	if a.Packed() {
+		return nil, ErrPacked
+	}
+	manData, ok := a.Get(ManifestPath)
+	if !ok {
+		return nil, fmt.Errorf("apk: archive has no %s", ManifestPath)
+	}
+	man, err := manifest.Parse(manData)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := res.NewTable()
+	layouts := make(map[string]*layout.Layout)
+	for _, p := range a.WithPrefix(LayoutDir) {
+		base := path.Base(p)
+		name := strings.TrimSuffix(base, ".xml")
+		if name == base {
+			return nil, fmt.Errorf("apk: layout entry %q is not an .xml file", p)
+		}
+		data, _ := a.Get(p)
+		l, err := layout.Parse(name, data)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.Register(tbl); err != nil {
+			return nil, err
+		}
+		layouts[name] = l
+	}
+
+	smaliFiles := make(map[string][]byte)
+	for _, p := range a.WithPrefix(SmaliDir) {
+		if !strings.HasSuffix(p, ".smali") {
+			return nil, fmt.Errorf("apk: code entry %q is not a .smali file", p)
+		}
+		data, _ := a.Get(p)
+		smaliFiles[p] = data
+	}
+	prog, err := smali.ParseProgram(smaliFiles)
+	if err != nil {
+		return nil, err
+	}
+
+	app := &App{Manifest: man, Layouts: layouts, Program: prog, Resources: tbl}
+	if err := app.Lint(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// LoadBytes decodes a serialized archive into an App.
+func LoadBytes(data []byte) (*App, error) {
+	arch, err := ParseArchive(data)
+	if err != nil {
+		return nil, err
+	}
+	return Load(arch)
+}
+
+// Pack assembles the App back into an archive (the corpus generators build
+// Apps programmatically and serialize them through here, guaranteeing that
+// everything the system consumes went through the real parsers).
+func (app *App) Pack() (*Archive, error) {
+	a := NewArchive()
+	manData, err := app.Manifest.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Put(ManifestPath, manData); err != nil {
+		return nil, err
+	}
+	for _, name := range app.LayoutNames() {
+		data, err := app.Layouts[name].Encode()
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Put(LayoutDir+name+".xml", data); err != nil {
+			return nil, err
+		}
+	}
+	for _, cn := range app.Program.Names() {
+		c := app.Program.Class(cn)
+		p := SmaliDir + strings.ReplaceAll(cn, ".", "/") + ".smali"
+		if err := a.Put(p, smali.WriteClass(c)); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// LayoutNames returns the app's layout names, sorted.
+func (app *App) LayoutNames() []string {
+	out := make([]string, 0, len(app.Layouts))
+	for n := range app.Layouts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lint cross-checks the bundle:
+//   - every manifest activity has a class in the program, and that class is
+//     an Activity subclass;
+//   - every set-content-view layout reference resolves to a bundled layout;
+//   - every fragment-transaction target class is a Fragment subclass;
+//   - every set-click-listener widget reference is defined in some layout.
+func (app *App) Lint() error {
+	for _, an := range app.Manifest.ActivityNames() {
+		c := app.Program.Class(an)
+		if c == nil {
+			return fmt.Errorf("apk: manifest activity %s has no class", an)
+		}
+		if !app.Program.IsActivityClass(an) {
+			return fmt.Errorf("apk: manifest activity %s does not extend Activity", an)
+		}
+	}
+	for _, r := range app.Manifest.Application.Receivers {
+		if app.Program.Class(r.Name) == nil {
+			return fmt.Errorf("apk: manifest receiver %s has no class", r.Name)
+		}
+		if !app.Program.IsSubclassOf(r.Name, smali.ClassReceiver) {
+			return fmt.Errorf("apk: manifest receiver %s does not extend BroadcastReceiver", r.Name)
+		}
+	}
+	for _, cn := range app.Program.Names() {
+		c := app.Program.Class(cn)
+		for _, m := range c.Methods {
+			for _, ins := range m.Body {
+				if err := app.lintInstr(cn, m.Name, ins); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (app *App) lintInstr(class, method string, ins smali.Instr) error {
+	where := func() string { return fmt.Sprintf("apk: %s.%s line %d", class, method, ins.Line) }
+	switch ins.Op {
+	case smali.OpSetContentView:
+		kind, name, err := res.ParseRef(ins.Args[0])
+		if err != nil {
+			return fmt.Errorf("%s: %w", where(), err)
+		}
+		if kind != res.KindLayout {
+			return fmt.Errorf("%s: set-content-view wants @layout, got %s", where(), ins.Args[0])
+		}
+		if app.Layouts[name] == nil {
+			return fmt.Errorf("%s: unknown layout %s", where(), ins.Args[0])
+		}
+	case smali.OpTxnAdd, smali.OpTxnReplace, smali.OpInflateView:
+		if !app.Program.IsFragmentClass(ins.Args[1]) {
+			return fmt.Errorf("%s: %s target %s is not a Fragment subclass", where(), ins.Op, ins.Args[1])
+		}
+		if _, err := app.Resources.Resolve(normalizeRef(ins.Args[0])); err != nil {
+			return fmt.Errorf("%s: %w", where(), err)
+		}
+	case smali.OpTxnRemove:
+		if !app.Program.IsFragmentClass(ins.Args[0]) {
+			return fmt.Errorf("%s: txn-remove target %s is not a Fragment subclass", where(), ins.Args[0])
+		}
+	case smali.OpSetClickListener, smali.OpToggleVisible, smali.OpSetText, smali.OpRequireInput:
+		if _, err := app.Resources.Resolve(normalizeRef(ins.Args[0])); err != nil {
+			return fmt.Errorf("%s: %w", where(), err)
+		}
+	}
+	return nil
+}
+
+// normalizeRef maps "@+id/x" to "@id/x" so lookups hit layout-registered IDs.
+func normalizeRef(ref string) string {
+	if strings.HasPrefix(ref, "@+") {
+		return "@" + ref[2:]
+	}
+	return ref
+}
+
+// NormalizeRef is the exported form of normalizeRef for sibling packages.
+func NormalizeRef(ref string) string { return normalizeRef(ref) }

@@ -1,0 +1,201 @@
+// Package apk implements the synthetic application package format (.sapk)
+// and the in-memory App bundle assembled from it. A .sapk plays the role of
+// an APK after apktool decompilation: it contains AndroidManifest.xml, layout
+// XML files under res/layout/, and smali class files under smali/. Packages
+// may be "packed" (packer-protected), in which case static extraction fails,
+// like the encrypted apps the paper had to rule out of its dataset.
+package apk
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// magic is the archive header line.
+const magic = "SAPK1"
+
+// packedMarker is the entry path whose presence marks a packer-protected app.
+const packedMarker = "META-INF/PACKED"
+
+// MaxEntrySize bounds a single archive entry (64 MiB). Without it a hostile
+// length header could make the reader allocate arbitrary memory before any
+// byte of the body is read.
+const MaxEntrySize = 64 << 20
+
+// Archive is an ordered set of named byte entries, the on-disk form of a
+// synthetic package.
+type Archive struct {
+	entries map[string][]byte
+	order   []string
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive {
+	return &Archive{entries: make(map[string][]byte)}
+}
+
+// Put stores an entry, replacing any previous contents for the path.
+func (a *Archive) Put(path string, data []byte) error {
+	if err := validPath(path); err != nil {
+		return err
+	}
+	if _, exists := a.entries[path]; !exists {
+		a.order = append(a.order, path)
+	}
+	a.entries[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get returns an entry's contents. The boolean result reports presence.
+func (a *Archive) Get(path string) ([]byte, bool) {
+	d, ok := a.entries[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// Has reports whether the path exists.
+func (a *Archive) Has(path string) bool {
+	_, ok := a.entries[path]
+	return ok
+}
+
+// Paths returns all entry paths, sorted.
+func (a *Archive) Paths() []string {
+	out := append([]string(nil), a.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of entries.
+func (a *Archive) Len() int { return len(a.entries) }
+
+// WithPrefix returns the sorted paths under the given prefix.
+func (a *Archive) WithPrefix(prefix string) []string {
+	var out []string
+	for _, p := range a.Paths() {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func validPath(path string) error {
+	switch {
+	case path == "":
+		return fmt.Errorf("apk: empty entry path")
+	case strings.HasPrefix(path, "/"):
+		return fmt.Errorf("apk: absolute entry path %q", path)
+	case strings.Contains(path, ".."):
+		return fmt.Errorf("apk: entry path %q contains '..'", path)
+	case strings.ContainsAny(path, "\n\r"):
+		return fmt.Errorf("apk: entry path %q contains newline", path)
+	}
+	return nil
+}
+
+// WriteTo serializes the archive: a magic line, then for each entry (in
+// sorted path order) a path line, a decimal length line, the raw bytes, and a
+// terminating newline.
+func (a *Archive) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintln(bw, magic)); err != nil {
+		return n, err
+	}
+	for _, path := range a.Paths() {
+		data := a.entries[path]
+		if err := count(fmt.Fprintf(bw, "%s\n%d\n", path, len(data))); err != nil {
+			return n, err
+		}
+		if err := count(bw.Write(data)); err != nil {
+			return n, err
+		}
+		if err := count(bw.WriteString("\n")); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Bytes serializes the archive to memory.
+func (a *Archive) Bytes() []byte {
+	var buf bytes.Buffer
+	// Writing to a bytes.Buffer cannot fail.
+	_, _ = a.WriteTo(&buf)
+	return buf.Bytes()
+}
+
+// ReadArchive parses a serialized archive.
+func ReadArchive(r io.Reader) (*Archive, error) {
+	br := bufio.NewReader(r)
+	head, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("apk: read header: %w", err)
+	}
+	if strings.TrimRight(head, "\n") != magic {
+		return nil, fmt.Errorf("apk: bad magic %q", strings.TrimSpace(head))
+	}
+	a := NewArchive()
+	for {
+		pathLine, err := br.ReadString('\n')
+		if err == io.EOF && pathLine == "" {
+			return a, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("apk: read entry path: %w", err)
+		}
+		path := strings.TrimRight(pathLine, "\n")
+		lenLine, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("apk: read entry length for %q: %w", path, err)
+		}
+		size, err := strconv.Atoi(strings.TrimRight(lenLine, "\n"))
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("apk: bad entry length %q for %q", strings.TrimSpace(lenLine), path)
+		}
+		if size > MaxEntrySize {
+			return nil, fmt.Errorf("apk: entry %q claims %d bytes, limit is %d", path, size, MaxEntrySize)
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("apk: read %d bytes of %q: %w", size, path, err)
+		}
+		nl, err := br.ReadByte()
+		if err != nil || nl != '\n' {
+			return nil, fmt.Errorf("apk: entry %q not newline-terminated", path)
+		}
+		if a.Has(path) {
+			return nil, fmt.Errorf("apk: duplicate entry %q", path)
+		}
+		if err := a.Put(path, data); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ParseArchive parses a serialized archive from memory.
+func ParseArchive(data []byte) (*Archive, error) {
+	return ReadArchive(bytes.NewReader(data))
+}
+
+// MarkPacked flags the archive as packer-protected.
+func (a *Archive) MarkPacked() {
+	_ = a.Put(packedMarker, []byte("packed"))
+}
+
+// Packed reports whether the archive is packer-protected.
+func (a *Archive) Packed() bool {
+	return a.Has(packedMarker)
+}

@@ -1,0 +1,185 @@
+package apk
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestArchivePutGet(t *testing.T) {
+	a := NewArchive()
+	if err := a.Put("x/y.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := a.Get("x/y.txt")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Replacement keeps a single entry.
+	if err := a.Put("x/y.txt", []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	got, _ = a.Get("x/y.txt")
+	if string(got) != "bye" {
+		t.Fatalf("after replace: %q", got)
+	}
+	// Returned slices are copies.
+	got[0] = 'X'
+	again, _ := a.Get("x/y.txt")
+	if string(again) != "bye" {
+		t.Fatal("Get returned aliased slice")
+	}
+}
+
+func TestArchivePathValidation(t *testing.T) {
+	a := NewArchive()
+	for _, bad := range []string{"", "/abs", "a/../b", "nl\nin/path"} {
+		if err := a.Put(bad, nil); err == nil {
+			t.Errorf("Put(%q): want error", bad)
+		}
+	}
+}
+
+func TestArchiveSerializeRoundTrip(t *testing.T) {
+	a := NewArchive()
+	entries := map[string][]byte{
+		"AndroidManifest.xml":  []byte("<manifest/>"),
+		"res/layout/main.xml":  []byte("<LinearLayout/>\nwith\nnewlines\n"),
+		"smali/com/ex/A.smali": []byte(".class Lcom/ex/A;"),
+		"binary/with\ttabs":    {0, 1, 2, 255, '\n', '\n', 0},
+		"empty":                {},
+	}
+	for p, d := range entries {
+		if err := a.Put(p, d); err != nil {
+			t.Fatalf("Put(%q): %v", p, err)
+		}
+	}
+	back, err := ParseArchive(a.Bytes())
+	if err != nil {
+		t.Fatalf("ParseArchive: %v", err)
+	}
+	if back.Len() != len(entries) {
+		t.Fatalf("Len = %d, want %d", back.Len(), len(entries))
+	}
+	for p, d := range entries {
+		got, ok := back.Get(p)
+		if !ok || !bytes.Equal(got, d) {
+			t.Errorf("entry %q = %q, %v; want %q", p, got, ok, d)
+		}
+	}
+	if !reflect.DeepEqual(back.Paths(), a.Paths()) {
+		t.Errorf("Paths = %v, want %v", back.Paths(), a.Paths())
+	}
+}
+
+func TestReadArchiveErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"bad magic", "NOPE\n"},
+		{"truncated header", ""},
+		{"bad length", "SAPK1\npath\nxyz\n"},
+		{"negative length", "SAPK1\npath\n-4\n"},
+		{"short body", "SAPK1\npath\n10\nabc"},
+		{"missing terminator", "SAPK1\npath\n3\nabc"},
+		{"duplicate entry", "SAPK1\np\n1\na\np\n1\nb\n"},
+		// Regression (found by FuzzParseArchive): a hostile length header
+		// must not drive allocation.
+		{"length bomb", "SAPK1\np\n12000000000000\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseArchive([]byte(tc.data)); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestPackedMarker(t *testing.T) {
+	a := NewArchive()
+	if a.Packed() {
+		t.Fatal("fresh archive packed")
+	}
+	a.MarkPacked()
+	if !a.Packed() {
+		t.Fatal("MarkPacked did not stick")
+	}
+	back, err := ParseArchive(a.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Packed() {
+		t.Fatal("packed flag lost in serialization")
+	}
+}
+
+func TestWithPrefix(t *testing.T) {
+	a := NewArchive()
+	for _, p := range []string{"res/layout/b.xml", "res/layout/a.xml", "smali/X.smali"} {
+		if err := a.Put(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := a.WithPrefix("res/layout/")
+	want := []string{"res/layout/a.xml", "res/layout/b.xml"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WithPrefix = %v", got)
+	}
+}
+
+// Property: any map of valid paths to arbitrary bytes survives a serialize/
+// parse round trip byte-for-byte.
+func TestQuickArchiveRoundTrip(t *testing.T) {
+	f := func(names []string, blobs [][]byte) bool {
+		a := NewArchive()
+		want := make(map[string][]byte)
+		for i, n := range names {
+			p := "f/" + sanitize(n)
+			var d []byte
+			if i < len(blobs) {
+				d = blobs[i]
+			}
+			if err := a.Put(p, d); err != nil {
+				return false
+			}
+			want[p] = d
+		}
+		back, err := ParseArchive(a.Bytes())
+		if err != nil {
+			return false
+		}
+		if back.Len() != len(want) {
+			return false
+		}
+		for p, d := range want {
+			got, ok := back.Get(p)
+			if !ok || !bytes.Equal(got, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '\n', '\r', '.':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return "x"
+	}
+	return string(out)
+}

@@ -1,0 +1,40 @@
+package apk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseArchive: arbitrary bytes must never panic the reader, and
+// anything it accepts must re-serialize to an equivalent archive.
+func FuzzParseArchive(f *testing.F) {
+	valid := NewArchive()
+	_ = valid.Put("AndroidManifest.xml", []byte("<manifest/>"))
+	_ = valid.Put("smali/A.smali", []byte(".class Lp/A;"))
+	f.Add(valid.Bytes())
+	f.Add([]byte("SAPK1\n"))
+	f.Add([]byte("SAPK1\npath\n3\nabc\n"))
+	f.Add([]byte("NOPE"))
+	f.Add([]byte("SAPK1\np\n-1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ParseArchive(data)
+		if err != nil {
+			return
+		}
+		back, err := ParseArchive(a.Bytes())
+		if err != nil {
+			t.Fatalf("re-serialized archive rejected: %v", err)
+		}
+		if back.Len() != a.Len() {
+			t.Fatalf("entry count changed: %d vs %d", back.Len(), a.Len())
+		}
+		for _, p := range a.Paths() {
+			want, _ := a.Get(p)
+			got, ok := back.Get(p)
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("entry %q changed", p)
+			}
+		}
+	})
+}

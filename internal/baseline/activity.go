@@ -1,0 +1,268 @@
+// Package baseline implements the comparison systems of the evaluation:
+//
+//   - ActivityExplorer: a traditional Activity-level model-based tester in
+//     the spirit of TrimDroid/A3E (§IX). It treats each Activity as one
+//     fixed UI state: it clicks the widgets visible on first arrival, never
+//     re-keys the UI on fragment or visibility changes, and has neither the
+//     reflection mechanism nor Fragment-level crediting. Its blind spots —
+//     drawer-hidden entries, reflection-only fragments — are exactly the
+//     API calls the paper says traditional approaches must miss (≥9.6%).
+//
+//   - Monkey: seeded random event injection after Google's
+//     UI/Application Exerciser Monkey, the paper's Section I strawman.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/device"
+	"fragdroid/internal/robotium"
+	"fragdroid/internal/sensitive"
+)
+
+// Result reports a baseline run. Fragment-level crediting is intentionally
+// absent: these tools cannot observe fragments.
+type Result struct {
+	// VisitedActivities lists reached activity classes, sorted.
+	VisitedActivities []string
+	// Collector holds the sensitive-API observations.
+	Collector *sensitive.Collector
+	// TestCases counts device sessions (ActivityExplorer) or injected event
+	// batches (Monkey).
+	TestCases int
+	// Steps is the accumulated device work.
+	Steps int
+	// Crashes counts force-closes.
+	Crashes int
+	// Transcript is the run log.
+	Transcript []string
+}
+
+// ActivityConfig tunes the Activity-level explorer.
+type ActivityConfig struct {
+	// Inputs is the same analyst input file FragDroid gets (fair play on
+	// input gating).
+	Inputs map[string]string
+	// DefaultInput fills unknown fields.
+	DefaultInput string
+	// UseForcedStart enables empty-Intent starts of undiscovered activities
+	// (A3E-style targeted exploration).
+	UseForcedStart bool
+	// MaxTestCases bounds device sessions. Zero means 600.
+	MaxTestCases int
+}
+
+// DefaultActivityConfig mirrors the explorer defaults minus fragment powers.
+func DefaultActivityConfig() ActivityConfig {
+	return ActivityConfig{UseForcedStart: true, DefaultInput: "test123"}
+}
+
+type actEngine struct {
+	app       *apk.App
+	cfg       ActivityConfig
+	collector *sensitive.Collector
+	visited   map[string]robotium.Script
+	queue     []string
+	testCases int
+	steps     int
+	crashes   int
+	log       []string
+}
+
+// ExploreActivities runs the Activity-level baseline on a loaded app.
+func ExploreActivities(app *apk.App, cfg ActivityConfig) (*Result, error) {
+	if cfg.MaxTestCases == 0 {
+		cfg.MaxTestCases = 600
+	}
+	e := &actEngine{
+		app:       app,
+		cfg:       cfg,
+		collector: sensitive.NewCollector(app.Manifest.Package),
+		visited:   make(map[string]robotium.Script),
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	var acts []string
+	for a := range e.visited {
+		acts = append(acts, a)
+	}
+	sort.Strings(acts)
+	return &Result{
+		VisitedActivities: acts,
+		Collector:         e.collector,
+		TestCases:         e.testCases,
+		Steps:             e.steps,
+		Crashes:           e.crashes,
+		Transcript:        e.log,
+	}, nil
+}
+
+func (e *actEngine) logf(format string, args ...any) {
+	e.log = append(e.log, fmt.Sprintf(format, args...))
+}
+
+func (e *actEngine) runScript(s robotium.Script) (*device.Device, robotium.Result, bool) {
+	if e.testCases >= e.cfg.MaxTestCases {
+		return nil, robotium.Result{}, false
+	}
+	e.testCases++
+	d := device.New(e.app, device.Options{Monitor: func(ev device.SensitiveEvent) {
+		e.collector.Observe(sensitive.Event(ev))
+	}})
+	res := robotium.Run(d, s, robotium.Options{AutoDismiss: true})
+	e.steps += d.Steps()
+	if res.Crashed {
+		e.crashes++
+	}
+	return d, res, true
+}
+
+func (e *actEngine) visit(activity string, route robotium.Script) {
+	if _, seen := e.visited[activity]; seen {
+		return
+	}
+	e.visited[activity] = route
+	e.queue = append(e.queue, activity)
+	e.logf("visited activity %s (%d ops)", activity, len(route.Ops))
+}
+
+func (e *actEngine) run() error {
+	launch := robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}}
+	d, res, _ := e.runScript(launch)
+	if res.Err != nil {
+		return fmt.Errorf("baseline: launch failed: %w", res.Err)
+	}
+	cur, err := d.CurrentActivity()
+	if err != nil {
+		return err
+	}
+	e.visit(cur, launch)
+
+	for {
+		progressed := false
+		for len(e.queue) > 0 && e.testCases < e.cfg.MaxTestCases {
+			a := e.queue[0]
+			e.queue = e.queue[1:]
+			e.exploreActivity(a)
+			progressed = true
+		}
+		if e.cfg.UseForcedStart && e.testCases < e.cfg.MaxTestCases && e.forcedPass() {
+			progressed = true
+		}
+		if !progressed || e.testCases >= e.cfg.MaxTestCases {
+			return nil
+		}
+	}
+}
+
+// exploreActivity clicks the widgets visible on first arrival, once each.
+// The activity is a fixed UI state: no re-dump after clicks that "only"
+// change fragments or visibility.
+func (e *actEngine) exploreActivity(activity string) {
+	route := e.visited[activity]
+	d, res, ok := e.runScript(route)
+	if !ok || res.Err != nil {
+		return
+	}
+	if d.HasDialog() {
+		_ = d.DismissDialog()
+	}
+	dump, err := d.Dump()
+	if err != nil {
+		return
+	}
+	clickables := dump.ClickableRefs()
+	e.logf("activity %s: %d clickable widgets", activity, len(clickables))
+
+	needReplay := false
+	for _, ref := range clickables {
+		if needReplay {
+			var ok bool
+			d, res, ok = e.runScript(route)
+			if !ok || res.Err != nil {
+				return
+			}
+			if d.HasDialog() {
+				_ = d.DismissDialog()
+			}
+			needReplay = false
+		}
+		if cur, err := d.CurrentActivity(); err != nil || cur != activity {
+			needReplay = true
+			continue
+		}
+		fillOps := e.fillInputs(d)
+		if err := d.Click(ref); err != nil {
+			continue
+		}
+		if d.Crashed() {
+			e.crashes++
+			needReplay = true
+			continue
+		}
+		cur, err := d.CurrentActivity()
+		if err != nil {
+			needReplay = true
+			continue
+		}
+		if cur != activity {
+			newRoute := route.Append("reach_"+cur, fillOps...)
+			newRoute.Ops = append(newRoute.Ops, robotium.Click(ref))
+			e.visit(cur, newRoute)
+			needReplay = true
+		}
+	}
+}
+
+// fillInputs completes visible fields with provided or default values and
+// returns the performed operations so recorded routes can replay them.
+func (e *actEngine) fillInputs(d *device.Device) []robotium.Op {
+	dump, err := d.Dump()
+	if err != nil {
+		return nil
+	}
+	var ops []robotium.Op
+	for _, ref := range dump.EditableRefs() {
+		val, ok := e.cfg.Inputs[ref]
+		if !ok {
+			val = e.cfg.DefaultInput
+		}
+		if val == "" {
+			continue
+		}
+		if err := d.EnterText(ref, val); err == nil {
+			ops = append(ops, robotium.EnterText(ref, val))
+		}
+	}
+	return ops
+}
+
+// forcedPass force-starts declared activities not yet visited.
+func (e *actEngine) forcedPass() bool {
+	progressed := false
+	for _, a := range e.app.Manifest.ActivityNames() {
+		if _, seen := e.visited[a]; seen {
+			continue
+		}
+		if e.testCases >= e.cfg.MaxTestCases {
+			break
+		}
+		s := robotium.Script{Name: "force_" + a, Ops: []robotium.Op{robotium.ForceStart(a)}}
+		d, res, ok := e.runScript(s)
+		if !ok {
+			break
+		}
+		if res.Err != nil {
+			e.logf("forced start of %s failed: %v", a, res.Err)
+			continue
+		}
+		if cur, err := d.CurrentActivity(); err == nil {
+			e.visit(cur, s)
+			progressed = true
+		}
+	}
+	return progressed
+}

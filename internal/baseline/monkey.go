@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/device"
+	"fragdroid/internal/sensitive"
+)
+
+// MonkeyConfig tunes the random tester.
+type MonkeyConfig struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Events is the number of injected UI events. Zero means 2000.
+	Events int
+	// SystemEvents additionally injects broadcasts the app's receivers
+	// subscribe to (Dynodroid-style "UI and system events", §IX).
+	SystemEvents bool
+}
+
+// randomWords feed the monkey's text entry; none of them unlock input gates,
+// as the paper observes for random strings like "abc".
+var randomWords = []string{"abc", "test", "12345", "qwerty", "hello", ""}
+
+// Monkey injects pseudo-random events: clicks on random visible widgets,
+// random text, BACK presses, and dialog dismissals, restarting the app after
+// crashes or exits. It models Google's Monkey exerciser.
+func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
+	if cfg.Events == 0 {
+		cfg.Events = 2000
+	}
+	collector := sensitive.NewCollector(app.Manifest.Package)
+	d := device.New(app, device.Options{Monitor: func(ev device.SensitiveEvent) {
+		collector.Observe(sensitive.Event(ev))
+	}})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	visited := make(map[string]bool)
+	var log []string
+	crashes := 0
+	restarts := 0
+
+	observe := func() {
+		if cur, err := d.CurrentActivity(); err == nil && !visited[cur] {
+			visited[cur] = true
+			log = append(log, fmt.Sprintf("monkey reached %s", cur))
+		}
+	}
+
+	if err := d.LaunchMain(); err != nil {
+		return nil, fmt.Errorf("baseline: monkey launch: %w", err)
+	}
+	observe()
+
+	for i := 0; i < cfg.Events; i++ {
+		if d.Crashed() || !d.Running() {
+			if d.Crashed() {
+				crashes++
+			}
+			restarts++
+			if err := d.LaunchMain(); err != nil {
+				return nil, err
+			}
+			observe()
+			continue
+		}
+		dump, err := d.Dump()
+		if err != nil {
+			continue
+		}
+		actions := app.Manifest.BroadcastActions()
+		switch p := rng.Intn(100); {
+		case cfg.SystemEvents && len(actions) > 0 && p < 10: // system event
+			_ = d.Broadcast(actions[rng.Intn(len(actions))])
+		case p < 70: // random click
+			refs := dump.ClickableRefs()
+			if len(refs) == 0 {
+				_ = d.Back()
+				break
+			}
+			_ = d.Click(refs[rng.Intn(len(refs))])
+		case p < 85: // random text
+			refs := dump.EditableRefs()
+			if len(refs) == 0 {
+				break
+			}
+			_ = d.EnterText(refs[rng.Intn(len(refs))], randomWords[rng.Intn(len(randomWords))])
+		case p < 95: // back
+			_ = d.Back()
+		default: // blank-space click
+			if d.HasDialog() {
+				_ = d.DismissDialog()
+			}
+		}
+		observe()
+	}
+
+	var acts []string
+	for a := range visited {
+		acts = append(acts, a)
+	}
+	sort.Strings(acts)
+	log = append(log, fmt.Sprintf("monkey done: %d events, %d crashes, %d restarts", cfg.Events, crashes, restarts))
+	return &Result{
+		VisitedActivities: acts,
+		Collector:         collector,
+		TestCases:         cfg.Events,
+		Steps:             d.Steps(),
+		Crashes:           crashes,
+		Transcript:        log,
+	}, nil
+}

@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"fragdroid/internal/corpus"
+)
+
+// Baselines must run cleanly over anything the random generator produces,
+// and the Activity-level tool must never "credit" work it cannot observe.
+func TestPropertyBaselinesOnRandomApps(t *testing.T) {
+	for seed := int64(200); seed < 220; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			spec := corpus.RandomSpec(fmt.Sprintf("com.randb.s%d", seed), seed)
+			app, err := corpus.BuildApp(spec)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+
+			act, err := ExploreActivities(app, DefaultActivityConfig())
+			if err != nil {
+				t.Fatalf("activity explorer: %v", err)
+			}
+			declared := make(map[string]bool)
+			for _, a := range app.Manifest.ActivityNames() {
+				declared[a] = true
+			}
+			for _, a := range act.VisitedActivities {
+				if !declared[a] {
+					t.Errorf("baseline visited undeclared activity %s", a)
+				}
+			}
+			entry, err := app.Manifest.EntryActivity()
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, a := range act.VisitedActivities {
+				if a == entry {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("baseline missed the entry activity")
+			}
+
+			mk, err := Monkey(app, MonkeyConfig{Seed: seed, Events: 300, SystemEvents: true})
+			if err != nil {
+				t.Fatalf("monkey: %v", err)
+			}
+			for _, a := range mk.VisitedActivities {
+				if !declared[a] {
+					t.Errorf("monkey visited undeclared activity %s", a)
+				}
+			}
+		})
+	}
+}

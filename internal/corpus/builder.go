@@ -1,0 +1,559 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/layout"
+	"fragdroid/internal/manifest"
+	"fragdroid/internal/sensitive"
+	"fragdroid/internal/smali"
+)
+
+// lname lowercases a simple class name for use in resource identifiers.
+func lname(name string) string { return strings.ToLower(name) }
+
+// Ref builders shared between the generator, the tests, and the evaluation
+// harness (so they can address generated widgets symbolically).
+func refRoot(act string) string              { return "@id/" + lname(act) + "_root" }
+func refNavButton(from, to string) string    { return "@id/" + lname(from) + "_btn_" + lname(to) }
+func refActionButton(from, to string) string { return "@id/" + lname(from) + "_act_" + lname(to) }
+func refInput(from, to string) string        { return "@id/" + lname(from) + "_input_" + lname(to) }
+func refDrawer(act string) string            { return "@id/" + lname(act) + "_drawer" }
+func refDrawerToggle(act string) string      { return "@id/" + lname(act) + "_drawer_toggle" }
+func refSlideDrawer(act string) string       { return "@id/" + lname(act) + "_slide" }
+func refMenuButton(from, to string) string   { return "@id/" + lname(from) + "_menu_" + lname(to) }
+func refSlideMenuButton(from, to string) string {
+	return "@id/" + lname(from) + "_smenu_" + lname(to)
+}
+func refMenuFragButton(act, frag string) string {
+	return "@id/" + lname(act) + "_menu_f_" + lname(frag)
+}
+func refSlideMenuFragButton(act, frag string) string {
+	return "@id/" + lname(act) + "_smenu_f_" + lname(frag)
+}
+func refTabButton(act, frag string) string { return "@id/" + lname(act) + "_tab_" + lname(frag) }
+func refContainer(act string) string       { return "@id/" + lname(act) + "_container" }
+func refStaticFrag(act, frag string) string {
+	return "@id/" + lname(act) + "_sfrag_" + lname(frag)
+}
+func refFragRoot(frag string) string         { return "@id/" + lname(frag) + "_root" }
+func refFragLabel(frag string) string        { return "@id/" + lname(frag) + "_label" }
+func refSwitchButton(from, to string) string { return "@id/" + lname(from) + "_sw_" + lname(to) }
+
+// Exported ref helpers for harness code.
+//
+// NavButtonRef addresses the visible button for a TransButton transition;
+// InputRef the gate field of a gated transition; DrawerToggleRef the drawer
+// toggle; TabButtonRef the tab of a WireTxnButton wire; ContainerRef the
+// fragment container of an activity; SwitchButtonRef the F→F switch button.
+func NavButtonRef(from, to string) string       { return refNavButton(from, to) }
+func InputRef(from, to string) string           { return refInput(from, to) }
+func DrawerToggleRef(act string) string         { return refDrawerToggle(act) }
+func MenuButtonRef(from, to string) string      { return refMenuButton(from, to) }
+func TabButtonRef(act, frag string) string      { return refTabButton(act, frag) }
+func ContainerRef(act string) string            { return refContainer(act) }
+func SwitchButtonRef(from, to string) string    { return refSwitchButton(from, to) }
+func MenuFragButtonRef(act, frag string) string { return refMenuFragButton(act, frag) }
+
+// handlerGo and friends name generated handler methods.
+func handlerGo(to string) string     { return "onGo" + to }
+func handlerAct(to string) string    { return "onAct" + to }
+func handlerShow(frag string) string { return "onShow" + frag }
+func handlerSwitch(to string) string { return "onSw" + to }
+
+const handlerToggleDrawer = "onToggleDrawer"
+
+// defaultGateValue is the expected input when a gate omits Expected.
+func defaultGateValue(to string) string { return "letmein-" + lname(to) }
+
+// GateValue exposes the default gate value for harness input files.
+func GateValue(g *InputGate, to string) string {
+	if g != nil && g.Expected != "" {
+		return g.Expected
+	}
+	return defaultGateValue(to)
+}
+
+// BuildArchive generates the .sapk archive for a spec.
+func BuildArchive(spec *AppSpec) (*apk.Archive, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{spec: spec}
+	arch, err := g.build()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: build %s: %w", spec.Package, err)
+	}
+	if spec.Packed {
+		arch.MarkPacked()
+	}
+	return arch, nil
+}
+
+// BuildApp generates and loads the app (packed specs fail with apk.ErrPacked,
+// as they would in the real pipeline).
+func BuildApp(spec *AppSpec) (*apk.App, error) {
+	arch, err := BuildArchive(spec)
+	if err != nil {
+		return nil, err
+	}
+	return apk.Load(arch)
+}
+
+type generator struct {
+	spec *AppSpec
+}
+
+func (g *generator) fq(name string) string { return g.spec.Package + "." + name }
+
+// transitionsFrom returns the outgoing transitions of an activity.
+func (g *generator) transitionsFrom(act string) []Transition {
+	var out []Transition
+	for _, tr := range g.spec.Transition {
+		if tr.From == act {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// switchesFrom returns the F→F switches leaving a fragment.
+func (g *generator) switchesFrom(frag string) []FragmentSwitch {
+	var out []FragmentSwitch
+	for _, sw := range g.spec.Switches {
+		if sw.From == frag {
+			out = append(out, sw)
+		}
+	}
+	return out
+}
+
+// hostOf returns the first activity wiring the fragment.
+func (g *generator) hostOf(frag string) (string, bool) {
+	for _, a := range g.spec.Activities {
+		for _, w := range a.Wires {
+			if w.Fragment == frag {
+				return a.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+func (g *generator) build() (*apk.Archive, error) {
+	arch := apk.NewArchive()
+	if err := g.putManifest(arch); err != nil {
+		return nil, err
+	}
+	for i := range g.spec.Activities {
+		a := &g.spec.Activities[i]
+		l, err := g.activityLayout(a)
+		if err != nil {
+			return nil, err
+		}
+		if err := putLayout(arch, l); err != nil {
+			return nil, err
+		}
+		cls := g.activityClass(a)
+		if err := putClass(arch, cls); err != nil {
+			return nil, err
+		}
+	}
+	for i := range g.spec.Fragments {
+		f := &g.spec.Fragments[i]
+		l, err := g.fragmentLayout(f)
+		if err != nil {
+			return nil, err
+		}
+		if err := putLayout(arch, l); err != nil {
+			return nil, err
+		}
+		cls := g.fragmentClass(f)
+		if err := putClass(arch, cls); err != nil {
+			return nil, err
+		}
+	}
+	for i := range g.spec.Receivers {
+		if err := putClass(arch, g.receiverClass(&g.spec.Receivers[i])); err != nil {
+			return nil, err
+		}
+	}
+	return arch, nil
+}
+
+func (g *generator) receiverClass(r *ReceiverSpec) *smali.Class {
+	c := &smali.Class{Name: g.fq(r.Name), Super: smali.ClassReceiver, Access: []string{"public"}}
+	var body []smali.Instr
+	for _, api := range r.Sensitive {
+		body = append(body, ins(smali.OpInvokeSensitive, api))
+	}
+	if r.StartsActivity != "" {
+		body = append(body, ins(smali.OpNewIntent, g.fq(r.Name), g.fq(r.StartsActivity)))
+		if target := g.spec.activity(r.StartsActivity); target != nil && target.RequiresExtra != "" {
+			body = append(body, ins(smali.OpPutExtra, target.RequiresExtra, "ctx"))
+		}
+		body = append(body, ins(smali.OpStartActivity))
+	}
+	if len(body) == 0 {
+		body = append(body, ins(smali.OpLog, "broadcast received"))
+	}
+	c.Methods = append(c.Methods, &smali.Method{
+		Name: "onReceive", Access: []string{"public"}, Body: body,
+	})
+	return c
+}
+
+func putLayout(arch *apk.Archive, l *layout.Layout) error {
+	data, err := l.Encode()
+	if err != nil {
+		return err
+	}
+	return arch.Put(apk.LayoutDir+l.Name+".xml", data)
+}
+
+func putClass(arch *apk.Archive, c *smali.Class) error {
+	p := apk.SmaliDir + strings.ReplaceAll(c.Name, ".", "/") + ".smali"
+	return arch.Put(p, smali.WriteClass(c))
+}
+
+func (g *generator) putManifest(arch *apk.Archive) error {
+	m := manifest.Manifest{Package: g.spec.Package, VersionName: "1.0"}
+	m.Application.Label = g.spec.Package
+	// Declare the permissions guarding every sensitive API the app invokes,
+	// like a well-formed Play Store app would.
+	for _, p := range g.requiredPermissions() {
+		m.Permissions = append(m.Permissions, manifest.Permission{Name: p})
+	}
+	for _, a := range g.spec.Activities {
+		act := manifest.Activity{Name: g.fq(a.Name)}
+		if a.Launcher {
+			act.Filters = append(act.Filters, manifest.IntentFilter{
+				Actions:    []manifest.Action{{Name: manifest.ActionMain}},
+				Categories: []manifest.Category{{Name: manifest.CategoryLauncher}},
+			})
+		}
+		// Intent-filter actions for implicit transitions targeting this
+		// activity.
+		for _, tr := range g.spec.Transition {
+			if tr.Kind == TransAction && tr.To == a.Name {
+				act.Filters = append(act.Filters, manifest.IntentFilter{
+					Actions: []manifest.Action{{Name: tr.Action}},
+				})
+			}
+		}
+		m.Application.Activities = append(m.Application.Activities, act)
+	}
+	for _, r := range g.spec.Receivers {
+		rec := manifest.Receiver{Name: g.fq(r.Name)}
+		for _, action := range r.Actions {
+			rec.Filters = append(rec.Filters, manifest.IntentFilter{
+				Actions: []manifest.Action{{Name: action}},
+			})
+		}
+		m.Application.Receivers = append(m.Application.Receivers, rec)
+	}
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return arch.Put(apk.ManifestPath, data)
+}
+
+// requiredPermissions derives the unique, sorted permission set from all
+// sensitive APIs the spec invokes.
+func (g *generator) requiredPermissions() []string {
+	set := make(map[string]bool)
+	add := func(apis []string) {
+		for _, api := range apis {
+			for _, p := range sensitive.PermissionsFor(api) {
+				set[p] = true
+			}
+		}
+	}
+	for _, a := range g.spec.Activities {
+		add(a.Sensitive)
+	}
+	for _, f := range g.spec.Fragments {
+		add(f.Sensitive)
+	}
+	for _, r := range g.spec.Receivers {
+		add(r.Sensitive)
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// needsDrawer / needsSlideDrawer report which drawer variants the activity
+// layout requires.
+func (g *generator) needsDrawer(a *ActivitySpec) bool {
+	for _, tr := range g.transitionsFrom(a.Name) {
+		if tr.Kind == TransDrawerButton {
+			return true
+		}
+	}
+	for _, w := range a.Wires {
+		if w.Kind == WireTxnDrawer {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *generator) needsSlideDrawer(a *ActivitySpec) bool {
+	for _, tr := range g.transitionsFrom(a.Name) {
+		if tr.Kind == TransSlideDrawer {
+			return true
+		}
+	}
+	for _, w := range a.Wires {
+		if w.Kind == WireTxnSlideDrawer {
+			return true
+		}
+	}
+	return false
+}
+
+func needsContainer(a *ActivitySpec) bool {
+	for _, w := range a.Wires {
+		switch w.Kind {
+		case WireTxnOnCreate, WireTxnButton, WireTxnDrawer, WireTxnSlideDrawer, WireInflate:
+			return true
+		}
+	}
+	return false
+}
+
+func (g *generator) activityLayout(a *ActivitySpec) (*layout.Layout, error) {
+	root := layout.Root(layout.TypeLinearLayout).ID(refRoot(a.Name))
+	root.Child(layout.Root(layout.TypeTextView).
+		ID("@id/" + lname(a.Name) + "_title").Text(a.Name))
+
+	if g.needsDrawer(a) {
+		root.Child(layout.Root(layout.TypeImageButton).
+			ID(refDrawerToggle(a.Name)).OnClick(handlerToggleDrawer))
+		drawer := layout.Root(layout.TypeDrawerLayout).ID(refDrawer(a.Name)).HiddenW()
+		for _, tr := range g.transitionsFrom(a.Name) {
+			if tr.Kind == TransDrawerButton {
+				drawer.Child(layout.Root(layout.TypeButton).
+					ID(refMenuButton(a.Name, tr.To)).Text(tr.To).OnClick(handlerGo(tr.To)))
+			}
+		}
+		for _, w := range a.Wires {
+			if w.Kind == WireTxnDrawer {
+				drawer.Child(layout.Root(layout.TypeButton).
+					ID(refMenuFragButton(a.Name, w.Fragment)).Text(w.Fragment).
+					OnClick(handlerShow(w.Fragment)))
+			}
+		}
+		root.Child(drawer)
+	}
+	if g.needsSlideDrawer(a) {
+		slide := layout.Root(layout.TypeDrawerLayout).ID(refSlideDrawer(a.Name)).HiddenW()
+		for _, tr := range g.transitionsFrom(a.Name) {
+			if tr.Kind == TransSlideDrawer {
+				slide.Child(layout.Root(layout.TypeButton).
+					ID(refSlideMenuButton(a.Name, tr.To)).Text(tr.To).OnClick(handlerGo(tr.To)))
+			}
+		}
+		for _, w := range a.Wires {
+			if w.Kind == WireTxnSlideDrawer {
+				slide.Child(layout.Root(layout.TypeButton).
+					ID(refSlideMenuFragButton(a.Name, w.Fragment)).Text(w.Fragment).
+					OnClick(handlerShow(w.Fragment)))
+			}
+		}
+		root.Child(slide)
+	}
+
+	for _, tr := range g.transitionsFrom(a.Name) {
+		switch tr.Kind {
+		case TransButton:
+			if tr.Gate != nil {
+				field := tr.Gate.Field
+				if field == "" {
+					field = refInput(a.Name, tr.To)
+				}
+				hint := tr.Gate.Hint
+				if hint == "" {
+					hint = "code for " + tr.To
+				}
+				root.Child(layout.Root(layout.TypeEditText).ID(field).Hint(hint))
+			}
+			root.Child(layout.Root(layout.TypeButton).
+				ID(refNavButton(a.Name, tr.To)).Text(tr.To).OnClick(handlerGo(tr.To)))
+		case TransAction:
+			root.Child(layout.Root(layout.TypeButton).
+				ID(refActionButton(a.Name, tr.To)).Text(tr.To).OnClick(handlerAct(tr.To)))
+		}
+	}
+
+	for _, w := range a.Wires {
+		if w.Kind == WireTxnButton {
+			// Tab buttons get their listeners registered in code.
+			root.Child(layout.Root(layout.TypeTabItem).
+				ID(refTabButton(a.Name, w.Fragment)).Text(w.Fragment))
+		}
+		if w.Kind == WireStatic {
+			root.Child(layout.Root(layout.TypeFragment).
+				ID(refStaticFrag(a.Name, w.Fragment)).Class(g.fq(w.Fragment)))
+		}
+	}
+	if needsContainer(a) {
+		root.Child(layout.Root(layout.TypeFrameLayout).ID(refContainer(a.Name)))
+	}
+	return root.BuildLayout("activity_" + lname(a.Name))
+}
+
+func (g *generator) fragmentLayout(f *FragmentSpec) (*layout.Layout, error) {
+	root := layout.Root(layout.TypeLinearLayout).ID(refFragRoot(f.Name))
+	root.Child(layout.Root(layout.TypeTextView).ID(refFragLabel(f.Name)).Text(f.Name))
+	for _, sw := range g.switchesFrom(f.Name) {
+		root.Child(layout.Root(layout.TypeButton).
+			ID(refSwitchButton(f.Name, sw.To)).Text(sw.To).OnClick(handlerSwitch(sw.To)))
+	}
+	return root.BuildLayout("fragment_" + lname(f.Name))
+}
+
+// ins is a tiny instruction constructor for generated code.
+func ins(op smali.Op, args ...string) smali.Instr {
+	return smali.Instr{Op: op, Args: args}
+}
+
+func (g *generator) fmOps(a *ActivitySpec) (get smali.Op) {
+	if a.SupportFM {
+		return smali.OpGetSupportFragmentManager
+	}
+	return smali.OpGetFragmentManager
+}
+
+func (g *generator) activityClass(a *ActivitySpec) *smali.Class {
+	super := smali.ClassActivity
+	if a.SupportFM {
+		super = smali.ClassFragmentActivity
+	}
+	c := &smali.Class{Name: g.fq(a.Name), Super: super, Access: []string{"public"}}
+
+	var onCreate []smali.Instr
+	if a.RequiresExtra != "" {
+		onCreate = append(onCreate, ins(smali.OpRequireExtra, a.RequiresExtra))
+	}
+	onCreate = append(onCreate, ins(smali.OpSetContentView, "@layout/activity_"+lname(a.Name)))
+	for _, w := range a.Wires {
+		if w.Kind == WireTxnButton {
+			onCreate = append(onCreate,
+				ins(smali.OpSetClickListener, refTabButton(a.Name, w.Fragment), handlerShow(w.Fragment)))
+		}
+	}
+	for _, api := range a.Sensitive {
+		onCreate = append(onCreate, ins(smali.OpInvokeSensitive, api))
+	}
+	for _, w := range a.Wires {
+		switch w.Kind {
+		case WireTxnOnCreate:
+			onCreate = append(onCreate,
+				ins(g.fmOps(a)),
+				ins(smali.OpBeginTransaction),
+				ins(smali.OpTxnAdd, refContainer(a.Name), g.fq(w.Fragment)),
+				ins(smali.OpTxnCommit),
+			)
+		case WireInflate:
+			onCreate = append(onCreate,
+				ins(smali.OpInflateView, refContainer(a.Name), g.fq(w.Fragment)))
+		case WireReferenceOnly:
+			onCreate = append(onCreate, ins(smali.OpNewInstance, g.fq(w.Fragment)))
+		}
+	}
+	if a.PopupOnCreate {
+		onCreate = append(onCreate, ins(smali.OpShowPopup, "app bar menu"))
+	}
+	c.Methods = append(c.Methods, &smali.Method{
+		Name: "onCreate", Access: []string{"public"}, Body: onCreate,
+	})
+
+	if g.needsDrawer(a) {
+		c.Methods = append(c.Methods, &smali.Method{
+			Name: handlerToggleDrawer, Access: []string{"public"},
+			Body: []smali.Instr{ins(smali.OpToggleVisible, refDrawer(a.Name))},
+		})
+	}
+
+	for _, tr := range g.transitionsFrom(a.Name) {
+		var body []smali.Instr
+		if tr.Gate != nil {
+			field := tr.Gate.Field
+			if field == "" {
+				field = refInput(a.Name, tr.To)
+			}
+			body = append(body, ins(smali.OpRequireInput, field, GateValue(tr.Gate, tr.To)))
+		}
+		name := handlerGo(tr.To)
+		if tr.Kind == TransAction {
+			name = handlerAct(tr.To)
+			body = append(body, ins(smali.OpNewIntentAction, tr.Action))
+		} else {
+			body = append(body, ins(smali.OpNewIntent, g.fq(a.Name), g.fq(tr.To)))
+		}
+		if target := g.spec.activity(tr.To); target != nil && target.RequiresExtra != "" {
+			body = append(body, ins(smali.OpPutExtra, target.RequiresExtra, "ctx"))
+		}
+		body = append(body, ins(smali.OpStartActivity))
+		c.Methods = append(c.Methods, &smali.Method{
+			Name: name, Access: []string{"public"}, Body: body,
+		})
+	}
+
+	for _, w := range a.Wires {
+		switch w.Kind {
+		case WireTxnButton, WireTxnDrawer, WireTxnSlideDrawer:
+			c.Methods = append(c.Methods, &smali.Method{
+				Name: handlerShow(w.Fragment), Access: []string{"public"},
+				Body: []smali.Instr{
+					ins(g.fmOps(a)),
+					ins(smali.OpBeginTransaction),
+					ins(smali.OpTxnReplace, refContainer(a.Name), g.fq(w.Fragment)),
+					ins(smali.OpTxnCommit),
+				},
+			})
+		}
+	}
+	return c
+}
+
+func (g *generator) fragmentClass(f *FragmentSpec) *smali.Class {
+	c := &smali.Class{
+		Name:         g.fq(f.Name),
+		Super:        smali.ClassFragment,
+		Access:       []string{"public"},
+		RequiresArgs: f.RequiresArgs,
+	}
+	body := []smali.Instr{ins(smali.OpSetContentView, "@layout/fragment_"+lname(f.Name))}
+	for _, api := range f.Sensitive {
+		body = append(body, ins(smali.OpInvokeSensitive, api))
+	}
+	c.Methods = append(c.Methods, &smali.Method{
+		Name: "onCreateView", Access: []string{"public"}, Body: body,
+	})
+	for _, sw := range g.switchesFrom(f.Name) {
+		host, ok := g.hostOf(sw.From)
+		if !ok {
+			host = f.Name // unreachable; Validate guarantees a host
+		}
+		c.Methods = append(c.Methods, &smali.Method{
+			Name: handlerSwitch(sw.To), Access: []string{"public"},
+			Body: []smali.Instr{
+				ins(smali.OpGetFragmentManager),
+				ins(smali.OpBeginTransaction),
+				ins(smali.OpTxnReplace, refContainer(host), g.fq(sw.To)),
+				ins(smali.OpTxnCommit),
+			},
+		})
+	}
+	return c
+}

@@ -1,0 +1,75 @@
+package corpus
+
+// DemoSpec returns a compact app exercising every structural feature the
+// paper discusses: tab fragments (Figure 1), a drawer-switched fragment and
+// activity (Figure 2), a slide-only drawer reachable just via reflection or
+// forced start, an input-gated login, an extras-requiring activity, a static
+// layout fragment, a FragmentManager-less inflated fragment, a
+// reference-only fragment, a requires-args fragment, and an isolated
+// activity. The quickstart example and most integration tests run on it.
+func DemoSpec() *AppSpec {
+	return &AppSpec{
+		Package:   "com.demo.app",
+		Downloads: "1,000+",
+		Activities: []ActivitySpec{
+			{
+				Name:     "Main",
+				Launcher: true,
+				Sensitive: []string{
+					"internet/connect",
+					"identification/getString",
+				},
+				Wires: []FragmentWire{
+					{Fragment: "Home", Kind: WireTxnOnCreate},
+					{Fragment: "Recent", Kind: WireTxnButton},
+					{Fragment: "News", Kind: WireTxnSlideDrawer},
+					{Fragment: "VIP", Kind: WireTxnSlideDrawer},
+				},
+			},
+			{
+				Name: "Detail",
+				Wires: []FragmentWire{
+					{Fragment: "Promo", Kind: WireTxnDrawer},
+				},
+			},
+			{Name: "Login"},
+			{
+				Name:          "Account",
+				RequiresExtra: "token",
+				Sensitive:     []string{"location/requestLocationUpdates"},
+			},
+			{
+				Name: "Settings",
+				Wires: []FragmentWire{
+					{Fragment: "About", Kind: WireStatic},
+					{Fragment: "Lab", Kind: WireInflate},
+					{Fragment: "Ghost", Kind: WireReferenceOnly},
+				},
+			},
+			{Name: "Secret", Sensitive: []string{"phone/getDeviceId"}},
+			{Name: "Share"},
+			{Name: "Lonely", Isolated: true},
+		},
+		Fragments: []FragmentSpec{
+			{Name: "Home", Sensitive: []string{"internet/inet"}},
+			{Name: "News", Sensitive: []string{"view/loadUrl"}},
+			{Name: "Recent", Sensitive: []string{"storage/sdcard"}},
+			{Name: "Promo", Sensitive: []string{"media/Camera.startPreview"}},
+			{Name: "About"},
+			{Name: "Lab", Sensitive: []string{"system/getInstalledApplications"}},
+			{Name: "Ghost"},
+			{Name: "VIP", RequiresArgs: true, Sensitive: []string{"phone/Configuration.MCC"}},
+		},
+		Transition: []Transition{
+			{From: "Main", To: "Detail", Kind: TransButton},
+			{From: "Main", To: "Login", Kind: TransButton},
+			{From: "Main", To: "Secret", Kind: TransSlideDrawer},
+			{From: "Detail", To: "Share", Kind: TransAction, Action: "com.demo.app.SHARE"},
+			{From: "Detail", To: "Settings", Kind: TransDrawerButton},
+			{From: "Login", To: "Account", Kind: TransButton, Gate: &InputGate{Expected: "alice"}},
+		},
+		Switches: []FragmentSwitch{
+			{From: "Home", To: "Recent"},
+		},
+	}
+}

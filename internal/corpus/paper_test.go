@@ -1,0 +1,206 @@
+package corpus
+
+import (
+	"testing"
+
+	"fragdroid/internal/sensitive"
+)
+
+func TestPaperRowsShape(t *testing.T) {
+	rows := PaperRows()
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(rows))
+	}
+	seen := make(map[string]bool)
+	var sumA, visA int
+	for _, r := range rows {
+		if seen[r.Package] {
+			t.Errorf("duplicate package %s", r.Package)
+		}
+		seen[r.Package] = true
+		if r.VisActs > r.SumActs || r.VisFrags > r.SumFrags {
+			t.Errorf("%s: visited exceeds sum", r.Package)
+		}
+		if r.VisActs < 1 {
+			t.Errorf("%s: entry must be visitable", r.Package)
+		}
+		sumA += r.SumActs
+		visA += r.VisActs
+	}
+	if sumA != 201 || visA != 147 {
+		t.Errorf("activity totals = %d/%d, want 147/201 (Table I column sums)", visA, sumA)
+	}
+}
+
+// The mean per-app target rates must match the paper's headline numbers.
+func TestPaperRowTargetAverages(t *testing.T) {
+	rows := PaperRows()
+	var actPct, fragPct float64
+	for _, r := range rows {
+		actPct += 100 * float64(r.VisActs) / float64(r.SumActs)
+		fragPct += 100 * float64(r.VisFrags) / float64(r.SumFrags)
+	}
+	actPct /= float64(len(rows))
+	fragPct /= float64(len(rows))
+	if actPct < 71.90 || actPct > 72.00 {
+		t.Errorf("target activity average = %.2f%%, want 71.94%%", actPct)
+	}
+	if fragPct < 65.5 || fragPct > 66.5 {
+		t.Errorf("target fragment average = %.2f%%, want ~66%%", fragPct)
+	}
+}
+
+func TestPaperAPICellsAggregates(t *testing.T) {
+	cells := PaperAPICells()
+	apis := make(map[string]bool)
+	var total, frag, fragOnly int
+	perApp := make(map[string]map[string]bool)
+	for app, cs := range cells {
+		perApp[app] = make(map[string]bool)
+		for _, c := range cs {
+			if perApp[app][c.API] {
+				t.Errorf("%s: duplicate cell for %s", app, c.API)
+			}
+			perApp[app][c.API] = true
+			apis[c.API] = true
+			if c.ByActivity {
+				total++
+			}
+			if c.ByFragment {
+				total++
+				frag++
+				if !c.ByActivity {
+					fragOnly++
+				}
+			}
+			if !c.ByActivity && !c.ByFragment {
+				t.Errorf("%s: empty cell for %s", app, c.API)
+			}
+		}
+	}
+	if len(apis) != 46 {
+		t.Errorf("distinct APIs = %d, want 46", len(apis))
+	}
+	if total != 269 {
+		t.Errorf("invocation relations = %d, want 269", total)
+	}
+	share := float64(frag) / float64(total)
+	if share < 0.485 || share > 0.495 {
+		t.Errorf("fragment share = %.4f, want ~0.49", share)
+	}
+	only := float64(fragOnly) / float64(total)
+	if only < 0.096 || only > 0.11 {
+		t.Errorf("fragment-only share = %.4f, want >=0.096", only)
+	}
+	for _, api := range apis2list(apis) {
+		if !sensitive.Known(api) {
+			t.Errorf("cell uses unknown API %s", api)
+		}
+	}
+}
+
+func apis2list(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestPaperSpecsBuild(t *testing.T) {
+	for _, row := range PaperRows() {
+		spec := PaperSpec(row)
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: invalid spec: %v", row.Package, err)
+			continue
+		}
+		app, err := BuildApp(spec)
+		if err != nil {
+			t.Errorf("%s: build failed: %v", row.Package, err)
+			continue
+		}
+		// The declared activity count is the Sum column.
+		if got := len(app.Manifest.ActivityNames()); got != row.SumActs {
+			t.Errorf("%s: declared activities = %d, want %d", row.Package, got, row.SumActs)
+		}
+		// All fragments referenced: effective fragment count = Sum column.
+		if got := len(app.Program.FragmentClasses()); got != row.SumFrags {
+			t.Errorf("%s: fragment classes = %d, want %d", row.Package, got, row.SumFrags)
+		}
+	}
+}
+
+func TestStressSpec(t *testing.T) {
+	for _, n := range []int{2, 10, 50} {
+		spec := StressSpec(n)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		app, err := BuildApp(spec)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := len(app.Manifest.ActivityNames()); got != n+n/10 {
+			t.Errorf("n=%d: declared activities = %d", n, got)
+		}
+	}
+	// Degenerate sizes are clamped.
+	if err := StressSpec(0).Validate(); err != nil {
+		t.Fatalf("clamped spec invalid: %v", err)
+	}
+}
+
+func TestStudySpecsShape(t *testing.T) {
+	specs := StudySpecs(1)
+	if len(specs) != StudySize {
+		t.Fatalf("specs = %d, want %d", len(specs), StudySize)
+	}
+	packed, withFrags, analyzable := 0, 0, 0
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Package, err)
+		}
+		if s.Packed {
+			packed++
+			continue
+		}
+		analyzable++
+		if s.UsesFragments() {
+			withFrags++
+		}
+	}
+	if packed != 10 {
+		t.Errorf("packed = %d, want 10", packed)
+	}
+	pct := 100 * float64(withFrags) / float64(analyzable)
+	if pct < 90 || pct > 92.5 {
+		t.Errorf("fragment share = %.1f%%, want ~91%%", pct)
+	}
+}
+
+func TestStudyDeterministicStructure(t *testing.T) {
+	a := StudySpecs(1)
+	b := StudySpecs(2)
+	// Different seeds may change app shapes but never the study statistic.
+	for i := range a {
+		if a[i].Packed != b[i].Packed {
+			t.Fatalf("packed assignment differs at %d", i)
+		}
+		if a[i].UsesFragments() != b[i].UsesFragments() {
+			t.Fatalf("fragment usage differs at %d (%s)", i, a[i].Package)
+		}
+	}
+}
+
+func TestRandomSpecsBuildAndAreDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		s1 := RandomSpec("com.rand.app", seed)
+		s2 := RandomSpec("com.rand.app", seed)
+		if len(s1.Activities) != len(s2.Activities) || len(s1.Fragments) != len(s2.Fragments) {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+		if _, err := BuildApp(s1); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package device
+
+import (
+	"testing"
+)
+
+// A terms-of-service gate: the Continue button only proceeds once the
+// CheckBox has been toggled to "checked" (§V-C lists CheckBox among the
+// input widgets that gate progress).
+func TestCheckBoxGate(t *testing.T) {
+	app := makeApp(t,
+		[]string{"t.A", "t.B"},
+		map[string]string{
+			"a": `<LinearLayout id="@+id/a_root">
+  <CheckBox id="@+id/tos"/>
+  <Button id="@+id/go" onClick="onGo"/>
+</LinearLayout>`,
+			"b": `<LinearLayout id="@+id/b_root"/>`,
+		},
+		map[string]string{
+			"t.A": `
+.class Lt/A;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/a
+.end method
+.method onGo()V
+    require-input @id/tos "checked"
+    new-intent Lt/A; Lt/B;
+    start-activity
+.end method`,
+			"t.B": `
+.class Lt/B;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/b
+.end method`,
+		})
+	d := New(app, Options{})
+	if err := d.LaunchMain(); err != nil {
+		t.Fatal(err)
+	}
+	// Unchecked: the gate blocks.
+	if err := d.Click("@id/go"); err != nil {
+		t.Fatal(err)
+	}
+	if cur, _ := d.CurrentActivity(); cur != "t.A" {
+		t.Fatalf("gate passed unchecked: %q", cur)
+	}
+	if err := d.DismissDialog(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkbox is clickable in dumps and toggles on click.
+	dump, _ := d.Dump()
+	clickable := false
+	for _, w := range dump.Widgets {
+		if w.Ref == "@id/tos" && w.Clickable {
+			clickable = true
+		}
+		if w.Ref == "@id/tos" && w.Editable {
+			t.Error("checkbox must not be text-editable")
+		}
+	}
+	if !clickable {
+		t.Fatal("checkbox not clickable in dump")
+	}
+	if err := d.Click("@id/tos"); err != nil {
+		t.Fatalf("toggle: %v", err)
+	}
+	dump, _ = d.Dump()
+	for _, w := range dump.Widgets {
+		if w.Ref == "@id/tos" && w.Text != CheckBoxChecked {
+			t.Fatalf("checkbox text = %q", w.Text)
+		}
+	}
+	// Checked: the gate opens.
+	if err := d.Click("@id/go"); err != nil {
+		t.Fatal(err)
+	}
+	if cur, _ := d.CurrentActivity(); cur != "t.B" {
+		t.Fatalf("gate blocked checked: %q", cur)
+	}
+	// Toggling twice returns to unchecked.
+	if err := d.Back(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Click("@id/tos"); err != nil {
+		t.Fatal(err)
+	}
+	dump, _ = d.Dump()
+	for _, w := range dump.Widgets {
+		if w.Ref == "@id/tos" && w.Text != CheckBoxUnchecked {
+			t.Fatalf("after second toggle: %q", w.Text)
+		}
+	}
+	// EnterText into a checkbox is rejected.
+	if err := d.EnterText("@id/tos", "x"); err == nil {
+		t.Fatal("EnterText into checkbox succeeded")
+	}
+}
+
+// The explorer discovers checkbox-gated transitions by clicking the box
+// during Case 3 exploration (the toggle changes the interface digest,
+// scheduling a re-exploration pass where the gate is open).
+func TestCheckBoxIsExplorable(t *testing.T) {
+	// Covered end-to-end in the explorer package; here we only pin the
+	// clickability contract the explorer relies on.
+	app := makeApp(t,
+		[]string{"t.A"},
+		map[string]string{
+			"a": `<LinearLayout id="@+id/a_root"><CheckBox id="@+id/cb"/></LinearLayout>`,
+		},
+		map[string]string{
+			"t.A": `
+.class Lt/A;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/a
+.end method`,
+		})
+	d := New(app, Options{})
+	if err := d.LaunchMain(); err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := d.Dump()
+	refs := dump.ClickableRefs()
+	if len(refs) != 1 || refs[0] != "@id/cb" {
+		t.Fatalf("ClickableRefs = %v", refs)
+	}
+}

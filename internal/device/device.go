@@ -1,0 +1,491 @@
+// Package device implements the Android runtime simulator FragDroid's
+// dynamic phase drives. It stands in for the paper's customized Android
+// device plus ADB plus the Robotium instrumentation runtime: it installs one
+// app, interprets the app's smali code, maintains the activity back stack,
+// fragment managers, view hierarchies, dialogs and drawers, delivers click
+// and text events, force-closes on app crashes, and reports UI dumps the way
+// an instrumentation harness would observe them.
+//
+// The simulator executes the same smali program the static phase analyses,
+// so static model and dynamic truth can genuinely diverge — the divergences
+// (fragments loaded without a FragmentManager, activities demanding intent
+// extras, hidden slide-only drawers) are exactly the phenomena the paper's
+// evaluation discusses.
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/layout"
+	"fragdroid/internal/smali"
+)
+
+// Common device errors.
+var (
+	// ErrCrashed is returned by interactions while the app is force-closed.
+	ErrCrashed = errors.New("device: application has crashed (FC)")
+	// ErrNotRunning is returned when no activity is on the stack.
+	ErrNotRunning = errors.New("device: application is not running")
+	// ErrNoSuchWidget is returned for interactions with absent widgets.
+	ErrNoSuchWidget = errors.New("device: no such widget on screen")
+	// ErrHidden is returned for interactions with invisible widgets.
+	ErrHidden = errors.New("device: widget is not visible")
+	// ErrNotClickable is returned when clicking a widget with no handler.
+	ErrNotClickable = errors.New("device: widget is not clickable")
+	// ErrNotEditable is returned when entering text into a non-input widget.
+	ErrNotEditable = errors.New("device: widget is not editable")
+)
+
+// ReflectionError describes a failed reflective fragment switch (§VI-A Case
+// 2 and the com.inditex.zara / com.mobilemotion.dubsmash failure modes).
+type ReflectionError struct {
+	Fragment string
+	Reason   string
+}
+
+func (e *ReflectionError) Error() string {
+	return fmt.Sprintf("device: reflection on %s failed: %s", e.Fragment, e.Reason)
+}
+
+// SensitiveEvent is emitted whenever the interpreted code invokes a
+// sensitive API. Class is the declaring class of the executing method;
+// InFragment tells whether that class is a Fragment subclass; Activity is
+// the activity on whose screen the call happened.
+type SensitiveEvent struct {
+	API        string
+	Class      string
+	InFragment bool
+	Activity   string
+}
+
+// Options configure a device.
+type Options struct {
+	// Monitor receives sensitive-API events; nil disables monitoring.
+	Monitor func(SensitiveEvent)
+	// MaxStartDepth bounds nested activity starts within one event to break
+	// pathological onCreate→startActivity cycles (treated as an ANR crash).
+	// Zero means the default of 16.
+	MaxStartDepth int
+}
+
+// Device is one emulated phone with a single installed app.
+type Device struct {
+	app  *apk.App
+	opts Options
+
+	stack    []*activityInstance
+	crashed  bool
+	crashMsg string
+
+	steps  int
+	events []string
+}
+
+// activityInstance is one live activity on the back stack.
+type activityInstance struct {
+	class  string
+	intent intent
+	// content is the inflated layout (a mutable clone).
+	content *layout.Layout
+	// fragments maps container ref -> live fragment, in commit order.
+	fragments map[string]*fragmentInstance
+	fragOrder []string
+	// listeners maps widget ref -> handler registered via code.
+	listeners map[string]handlerRef
+	// texts and visible override widget state.
+	texts   map[string]string
+	visible map[string]bool
+	// dialog is the modal dialog/popup currently showing, if any.
+	dialog *dialog
+}
+
+// fragmentInstance is a live fragment inside an activity.
+type fragmentInstance struct {
+	class     string
+	container string
+	content   *layout.Layout
+	listeners map[string]handlerRef
+	// viaFM tells whether the fragment was committed through a
+	// FragmentTransaction (true) or loaded directly (false). Instrumentation
+	// can only confirm FM-backed fragments.
+	viaFM bool
+}
+
+type handlerRef struct {
+	class  string
+	method string
+}
+
+type dialog struct {
+	text  string
+	popup bool
+}
+
+type intent struct {
+	explicit string
+	action   string
+	extras   map[string]string
+}
+
+func (it intent) has(key string) bool {
+	_, ok := it.extras[key]
+	return ok
+}
+
+// New returns a device with the app installed but not launched.
+func New(app *apk.App, opts Options) *Device {
+	if opts.MaxStartDepth == 0 {
+		opts.MaxStartDepth = 16
+	}
+	return &Device{app: app, opts: opts}
+}
+
+// App returns the installed app.
+func (d *Device) App() *apk.App { return d.app }
+
+// Steps reports the number of interpreted instructions plus delivered UI
+// events since creation; benchmarks use it as the simulator's work measure.
+func (d *Device) Steps() int { return d.steps }
+
+// Events returns the device log (driver-visible trace).
+func (d *Device) Events() []string { return append([]string(nil), d.events...) }
+
+func (d *Device) logf(format string, args ...any) {
+	d.events = append(d.events, fmt.Sprintf(format, args...))
+}
+
+// Crashed reports whether the app is force-closed; CrashReason says why.
+func (d *Device) Crashed() bool       { return d.crashed }
+func (d *Device) CrashReason() string { return d.crashMsg }
+
+// Running reports whether at least one activity is on the stack.
+func (d *Device) Running() bool { return !d.crashed && len(d.stack) > 0 }
+
+func (d *Device) top() *activityInstance {
+	if len(d.stack) == 0 {
+		return nil
+	}
+	return d.stack[len(d.stack)-1]
+}
+
+// CurrentActivity returns the class of the foreground activity.
+func (d *Device) CurrentActivity() (string, error) {
+	if d.crashed {
+		return "", ErrCrashed
+	}
+	t := d.top()
+	if t == nil {
+		return "", ErrNotRunning
+	}
+	return t.class, nil
+}
+
+// LaunchMain starts the app at its MAIN/LAUNCHER activity with a fresh task,
+// the `am start -a MAIN -c LAUNCHER` of §VI-A.
+func (d *Device) LaunchMain() error {
+	entry, err := d.app.Manifest.EntryActivity()
+	if err != nil {
+		return err
+	}
+	d.reset()
+	d.logf("am start -n %s -a android.intent.action.MAIN -c android.intent.category.LAUNCHER", entry)
+	return d.startActivity(intent{explicit: entry}, 0)
+}
+
+// ForceStart starts an arbitrary declared activity with an empty intent on a
+// fresh task. It models `am start -n <COMPONENT>` against the manifest that
+// the static phase patched with MAIN actions for every activity, so any
+// declared activity is startable — but activities that require intent extras
+// force-close (§VII-B1: forced starting "does not take the context and
+// Intent into account").
+func (d *Device) ForceStart(activity string) error {
+	if !d.app.Manifest.HasActivity(activity) {
+		return fmt.Errorf("device: am start: activity %s not declared", activity)
+	}
+	d.reset()
+	d.logf("am start -n %s", activity)
+	return d.startActivity(intent{explicit: activity}, 0)
+}
+
+// reset clears the task and crash state (process restart).
+func (d *Device) reset() {
+	d.stack = nil
+	d.crashed = false
+	d.crashMsg = ""
+}
+
+// Back pops the foreground activity (the BACK key).
+func (d *Device) Back() error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	if len(d.stack) == 0 {
+		return ErrNotRunning
+	}
+	d.steps++
+	top := d.stack[len(d.stack)-1]
+	if top.dialog != nil {
+		top.dialog = nil
+		d.logf("back: dismissed dialog")
+		return nil
+	}
+	d.stack = d.stack[:len(d.stack)-1]
+	d.logf("back: finished %s", top.class)
+	return nil
+}
+
+// crash force-closes the app.
+func (d *Device) crash(reason string) {
+	d.crashed = true
+	d.crashMsg = reason
+	d.stack = nil
+	d.logf("FATAL EXCEPTION: %s", reason)
+}
+
+// DismissDialog clicks blank space to remove a dialog or popup menu (§VI-A
+// Case 3). It is a no-op error if no dialog is showing.
+func (d *Device) DismissDialog() error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	t := d.top()
+	if t == nil {
+		return ErrNotRunning
+	}
+	if t.dialog == nil {
+		return errors.New("device: no dialog to dismiss")
+	}
+	d.steps++
+	d.logf("dismiss dialog %q", t.dialog.text)
+	t.dialog = nil
+	return nil
+}
+
+// HasDialog reports whether a modal dialog or popup is showing.
+func (d *Device) HasDialog() bool {
+	t := d.top()
+	return t != nil && t.dialog != nil
+}
+
+// EnterText types a value into an input widget.
+func (d *Device) EnterText(ref, value string) error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	t := d.top()
+	if t == nil {
+		return ErrNotRunning
+	}
+	d.steps++
+	w, _, visible, ok := d.findWidget(t, apk.NormalizeRef(ref))
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchWidget, ref)
+	}
+	if !visible {
+		return fmt.Errorf("%w: %s", ErrHidden, ref)
+	}
+	if !w.Input() {
+		return fmt.Errorf("%w: %s", ErrNotEditable, ref)
+	}
+	t.texts[apk.NormalizeRef(ref)] = value
+	d.logf("enter %q into %s", value, ref)
+	return nil
+}
+
+// Click delivers a click to a widget. While a dialog is showing, any click
+// lands on the dialog and dismisses it (the paper's blank-space click).
+func (d *Device) Click(ref string) error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	t := d.top()
+	if t == nil {
+		return ErrNotRunning
+	}
+	d.steps++
+	if t.dialog != nil {
+		d.logf("click %s intercepted by dialog; dismissed", ref)
+		t.dialog = nil
+		return nil
+	}
+	nref := apk.NormalizeRef(ref)
+	w, owner, visible, ok := d.findWidget(t, nref)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchWidget, ref)
+	}
+	if !visible {
+		return fmt.Errorf("%w: %s", ErrHidden, ref)
+	}
+	// CheckBoxes toggle their state on click (their value is readable by
+	// require-input as "checked"/"unchecked") and additionally fire a
+	// handler when one is bound.
+	if w.Type == layout.TypeCheckBox {
+		cur := t.texts[nref]
+		if cur == "" {
+			cur = CheckBoxUnchecked
+		}
+		if cur == CheckBoxChecked {
+			t.texts[nref] = CheckBoxUnchecked
+		} else {
+			t.texts[nref] = CheckBoxChecked
+		}
+		d.logf("checkbox %s -> %s", ref, t.texts[nref])
+		if h, ok := d.handlerFor(t, w, owner, nref); ok {
+			return d.invoke(t, h.class, h.method)
+		}
+		return nil
+	}
+	h, ok := d.handlerFor(t, w, owner, nref)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotClickable, ref)
+	}
+	d.logf("click %s -> %s.%s", ref, h.class, h.method)
+	return d.invoke(t, h.class, h.method)
+}
+
+// CheckBox states readable through the widget's text value.
+const (
+	CheckBoxChecked   = "checked"
+	CheckBoxUnchecked = "unchecked"
+)
+
+// widgetOwner identifies which component's layout a widget came from.
+type widgetOwner struct {
+	// fragment is nil for activity-layout widgets.
+	fragment *fragmentInstance
+}
+
+// findWidget locates a widget in the current screen: the activity layout
+// first, then each live fragment's layout. The returned visibility accounts
+// for Hidden flags, visibility overrides, and hidden ancestors.
+func (d *Device) findWidget(t *activityInstance, nref string) (*layout.Widget, widgetOwner, bool, bool) {
+	if t.content != nil {
+		if w, vis, ok := findInTree(t.content, nref, t.visible); ok {
+			return w, widgetOwner{}, vis, true
+		}
+	}
+	for _, c := range t.fragOrder {
+		f := t.fragments[c]
+		if f == nil || f.content == nil {
+			continue
+		}
+		if w, vis, ok := findInTree(f.content, nref, t.visible); ok {
+			// A fragment's widgets are visible only if its container is.
+			if cw, cvis, cok := findInTree(t.content, f.container, t.visible); cok {
+				_ = cw
+				vis = vis && cvis
+			}
+			return w, widgetOwner{fragment: f}, vis, true
+		}
+	}
+	return nil, widgetOwner{}, false, false
+}
+
+// findInTree locates nref in a layout, computing effective visibility along
+// the path (a widget is invisible if any ancestor is hidden).
+func findInTree(l *layout.Layout, nref string, overrides map[string]bool) (*layout.Widget, bool, bool) {
+	var found *layout.Widget
+	foundVis := false
+	var walk func(w *layout.Widget, vis bool) bool
+	walk = func(w *layout.Widget, vis bool) bool {
+		wVis := vis && widgetVisible(w, overrides)
+		if apk.NormalizeRef(w.IDRef) == nref && w.IDRef != "" {
+			found = w
+			foundVis = wVis
+			return false
+		}
+		for _, c := range w.Children {
+			if !walk(c, wVis) {
+				return false
+			}
+		}
+		return true
+	}
+	if l.Root != nil {
+		walk(l.Root, true)
+	}
+	return found, foundVis, found != nil
+}
+
+func widgetVisible(w *layout.Widget, overrides map[string]bool) bool {
+	if w.IDRef != "" {
+		if v, ok := overrides[apk.NormalizeRef(w.IDRef)]; ok {
+			return v
+		}
+	}
+	return !w.Hidden
+}
+
+// handlerFor resolves the click handler: XML onClick binds to the owning
+// component's class; otherwise a code-registered listener is looked up in
+// the fragment's registry, then the activity's.
+func (d *Device) handlerFor(t *activityInstance, w *layout.Widget, owner widgetOwner, nref string) (handlerRef, bool) {
+	if w.OnClick != "" {
+		if owner.fragment != nil {
+			return handlerRef{class: owner.fragment.class, method: w.OnClick}, true
+		}
+		return handlerRef{class: t.class, method: w.OnClick}, true
+	}
+	if owner.fragment != nil {
+		if h, ok := owner.fragment.listeners[nref]; ok {
+			return h, true
+		}
+	}
+	if h, ok := t.listeners[nref]; ok {
+		return h, true
+	}
+	return handlerRef{}, false
+}
+
+// classUsesFM reports whether a class (with inner classes) obtains a
+// FragmentManager anywhere in its code — the runtime precondition for the
+// reflection mechanism.
+func (d *Device) classUsesFM(class string) bool {
+	for _, cn := range d.app.Program.ClassAndInner(class) {
+		c := d.app.Program.Class(cn)
+		if c == nil {
+			continue
+		}
+		for _, m := range c.Methods {
+			for _, ins := range m.Body {
+				if ins.Op == smali.OpGetFragmentManager || ins.Op == smali.OpGetSupportFragmentManager {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Reflect performs the Java-reflection fragment switch of §VI-A Case 2: it
+// obtains the current activity's FragmentManager reflectively, instantiates
+// the fragment class, and commits a replace transaction into container.
+func (d *Device) Reflect(fragment, container string) error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	t := d.top()
+	if t == nil {
+		return ErrNotRunning
+	}
+	d.steps++
+	if !d.classUsesFM(t.class) {
+		return &ReflectionError{Fragment: fragment, Reason: fmt.Sprintf("activity %s has no FragmentManager", t.class)}
+	}
+	fc := d.app.Program.Class(fragment)
+	if fc == nil || !d.app.Program.IsFragmentClass(fragment) {
+		return &ReflectionError{Fragment: fragment, Reason: "not a Fragment class"}
+	}
+	if fc.RequiresArgs {
+		return &ReflectionError{Fragment: fragment, Reason: "newInstance requires missing parameters"}
+	}
+	nref := apk.NormalizeRef(container)
+	cw, _, _, ok := d.findWidget(t, nref)
+	if !ok || !cw.Container() {
+		return &ReflectionError{Fragment: fragment, Reason: fmt.Sprintf("no container %s in current UI", container)}
+	}
+	d.logf("reflect: commit %s into %s", fragment, container)
+	return d.commitFragment(t, nref, fragment, true)
+}

@@ -1,0 +1,13 @@
+package device
+
+import "fragdroid/internal/manifest"
+
+// receiverDecl builds a manifest receiver entry for tests.
+func receiverDecl(class, action string) manifest.Receiver {
+	return manifest.Receiver{
+		Name: class,
+		Filters: []manifest.IntentFilter{{
+			Actions: []manifest.Action{{Name: action}},
+		}},
+	}
+}

@@ -1,0 +1,100 @@
+package device
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// A fragment whose layout statically declares a child fragment: both commit.
+func TestNestedStaticFragment(t *testing.T) {
+	app := makeApp(t,
+		[]string{"t.A"},
+		map[string]string{
+			"a":     `<LinearLayout id="@+id/a_root"><FrameLayout id="@+id/c"/></LinearLayout>`,
+			"outer": `<LinearLayout id="@+id/outer_root"><fragment id="@+id/inner_slot" class="t.Inner"/></LinearLayout>`,
+			"inner": `<LinearLayout id="@+id/inner_root"><TextView id="@+id/inner_label" text="hi"/></LinearLayout>`,
+		},
+		map[string]string{
+			"t.A": `
+.class Lt/A;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/a
+    get-fragment-manager
+    begin-transaction
+    txn-add @id/c Lt/Outer;
+    txn-commit
+.end method`,
+			"t.Outer": `
+.class Lt/Outer;
+.super Landroid/app/Fragment;
+.method onCreateView()V
+    set-content-view @layout/outer
+.end method`,
+			"t.Inner": `
+.class Lt/Inner;
+.super Landroid/app/Fragment;
+.method onCreateView()V
+    set-content-view @layout/inner
+.end method`,
+		})
+	d := New(app, Options{})
+	if err := d.LaunchMain(); err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := d.Dump()
+	got := append([]string(nil), dump.FMFragments...)
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "t.Inner" || got[1] != "t.Outer" {
+		t.Fatalf("FMFragments = %v, want [t.Inner t.Outer]", got)
+	}
+	// The inner fragment's widgets are on screen.
+	found := false
+	for _, w := range dump.Widgets {
+		if w.Ref == "@id/inner_label" && w.FromFragment == "t.Inner" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inner fragment widgets missing")
+	}
+}
+
+// A fragment statically declaring itself would inflate forever; the device
+// reports it as a crash instead of recursing.
+func TestSelfInflatingFragmentCrashes(t *testing.T) {
+	app := makeApp(t,
+		[]string{"t.A"},
+		map[string]string{
+			"a":    `<LinearLayout id="@+id/a_root"><FrameLayout id="@+id/c"/></LinearLayout>`,
+			"loop": `<LinearLayout id="@+id/loop_root"><fragment id="@+id/again" class="t.Loop"/></LinearLayout>`,
+		},
+		map[string]string{
+			"t.A": `
+.class Lt/A;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/a
+    get-fragment-manager
+    begin-transaction
+    txn-add @id/c Lt/Loop;
+    txn-commit
+.end method`,
+			"t.Loop": `
+.class Lt/Loop;
+.super Landroid/app/Fragment;
+.method onCreateView()V
+    set-content-view @layout/loop
+.end method`,
+		})
+	d := New(app, Options{})
+	err := d.LaunchMain()
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("launch err = %v", err)
+	}
+	if !strings.Contains(d.CrashReason(), "StackOverflow") {
+		t.Fatalf("reason = %q", d.CrashReason())
+	}
+}

@@ -1,0 +1,31 @@
+package explorer
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The BACK-navigation optimization must not change what gets covered, only
+// how much work it costs.
+func TestBackNavigationPreservesCoverage(t *testing.T) {
+	base := exploreDemo(t, fullConfig())
+
+	cfg := fullConfig()
+	cfg.UseBackNavigation = true
+	opt := exploreDemo(t, cfg)
+
+	if !reflect.DeepEqual(base.VisitedActivities(), opt.VisitedActivities()) {
+		t.Fatalf("activities differ:\n%v\n%v",
+			base.VisitedActivities(), opt.VisitedActivities())
+	}
+	if !reflect.DeepEqual(base.VisitedFragments(), opt.VisitedFragments()) {
+		t.Fatalf("fragments differ:\n%v\n%v",
+			base.VisitedFragments(), opt.VisitedFragments())
+	}
+	if opt.TestCases > base.TestCases {
+		t.Errorf("back navigation used MORE test cases: %d vs %d",
+			opt.TestCases, base.TestCases)
+	}
+	t.Logf("test cases: %d (restart discipline) vs %d (back navigation)",
+		base.TestCases, opt.TestCases)
+}

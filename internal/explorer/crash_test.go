@@ -1,0 +1,50 @@
+package explorer
+
+import (
+	"strings"
+	"testing"
+
+	"fragdroid/internal/robotium"
+)
+
+func TestCrashReportsAreReplayable(t *testing.T) {
+	// Without inputs, the demo app crashes on the forced start of Account
+	// (missing the "token" extra).
+	res := exploreDemo(t, DefaultConfig())
+	if len(res.CrashReports) == 0 {
+		t.Fatal("no crash reports despite known crash paths")
+	}
+	for _, cr := range res.CrashReports {
+		if cr.Reason == "" || len(cr.Route.Ops) == 0 {
+			t.Fatalf("malformed crash report %+v", cr)
+		}
+		// Replaying the route reproduces the crash with the same reason.
+		d := newTestDevice(res.Extraction.App)
+		r := robotium.Run(d, cr.Route, robotium.Options{AutoDismiss: true})
+		if !r.Crashed {
+			t.Errorf("crash route %q did not reproduce", cr.Reason)
+			continue
+		}
+		if r.CrashReason != cr.Reason {
+			t.Errorf("reproduced %q, recorded %q", r.CrashReason, cr.Reason)
+		}
+	}
+	// Distinct reasons are not duplicated.
+	seen := make(map[string]bool)
+	for _, cr := range res.CrashReports {
+		if seen[cr.Reason] {
+			t.Errorf("duplicate crash report %q", cr.Reason)
+		}
+		seen[cr.Reason] = true
+	}
+	// The known missing-extra crash is among them.
+	found := false
+	for r := range seen {
+		if strings.Contains(r, "token") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing-extra crash not reported: %v", seen)
+	}
+}

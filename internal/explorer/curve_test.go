@@ -1,0 +1,36 @@
+package explorer
+
+import "testing"
+
+func TestCoverageCurve(t *testing.T) {
+	res := exploreDemo(t, fullConfig())
+	if len(res.Curve) < 2 {
+		t.Fatalf("curve too short: %v", res.Curve)
+	}
+	// Monotone in every dimension.
+	for i := 1; i < len(res.Curve); i++ {
+		prev, cur := res.Curve[i-1], res.Curve[i]
+		if cur.TestCase <= prev.TestCase {
+			t.Errorf("test cases not increasing: %v -> %v", prev, cur)
+		}
+		if cur.Activities < prev.Activities || cur.Fragments < prev.Fragments {
+			t.Errorf("coverage regressed: %v -> %v", prev, cur)
+		}
+	}
+	// The final point agrees with the result totals.
+	last := res.Curve[len(res.Curve)-1]
+	if last.TestCase != res.TestCases {
+		t.Errorf("last point at case %d, run had %d", last.TestCase, res.TestCases)
+	}
+	if last.Activities != len(res.VisitedActivities()) ||
+		last.Fragments != len(res.VisitedFragments()) {
+		t.Errorf("last point %+v disagrees with totals %d/%d",
+			last, len(res.VisitedActivities()), len(res.VisitedFragments()))
+	}
+	// The first point is the launch neighbourhood, not the end state: the
+	// curve genuinely grows.
+	first := res.Curve[0]
+	if first.Activities == last.Activities && first.Fragments == last.Fragments {
+		t.Errorf("curve is flat: %v", res.Curve)
+	}
+}

@@ -1,0 +1,786 @@
+// Package explorer implements FragDroid's Evolutionary Test Case Generation
+// phase (paper §VI): the UI transition queue maintained breadth-first over
+// the AFTM, Robotium test-case generation (including the reflection fallback
+// for hidden fragments), UI driving with the three arrival cases of §VI-A,
+// continuous AFTM updates, and the §VI-C termination condition with the
+// second loop of forced empty-Intent activity starts.
+package explorer
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"fragdroid/internal/aftm"
+	"fragdroid/internal/apk"
+	"fragdroid/internal/device"
+	"fragdroid/internal/inputgen"
+	"fragdroid/internal/robotium"
+	"fragdroid/internal/sensitive"
+	"fragdroid/internal/statics"
+)
+
+// Config tunes an exploration run.
+type Config struct {
+	// UseReflection enables the Java-reflection fragment switching of §VI-A
+	// Case 1/2 (ablation A1 turns it off).
+	UseReflection bool
+	// UseForcedStart enables the §VI-C second loop that force-starts
+	// unvisited Activities with empty Intents (ablation A2 turns it off).
+	UseForcedStart bool
+	// Inputs is the analyst-provided input dependency: widget ref → value.
+	Inputs map[string]string
+	// InputGen optionally derives values for widgets the input file does not
+	// cover, e.g. inputgen.Heuristic keyed on widget hints (the §VIII
+	// input-generation extension). Inputs entries take precedence.
+	InputGen inputgen.Generator
+	// DefaultInput fills input widgets with no provided value ("abc"-style
+	// random text in the paper). Empty keeps fields untouched.
+	DefaultInput string
+	// MaxTestCases bounds the number of generated-and-executed test cases
+	// (each fresh instrumentation run counts one). Zero means 600.
+	MaxTestCases int
+	// UseBackNavigation lets the UI driver press BACK after a cross-activity
+	// transition and continue clicking if that restores the interface,
+	// instead of always killing and replaying (§VI-A Case 3 specifies the
+	// kill-and-restart discipline; this engineering optimization trades
+	// paper fidelity for fewer test cases and is off by default).
+	UseBackNavigation bool
+
+	// haltOnAPI stops the run as soon as the named sensitive API is observed
+	// (set by ExploreTarget).
+	haltOnAPI string
+}
+
+// DefaultConfig is the full FragDroid configuration.
+func DefaultConfig() Config {
+	return Config{
+		UseReflection:  true,
+		UseForcedStart: true,
+		DefaultInput:   "test123",
+	}
+}
+
+// ReachMethod records how a node was first reached (Table-I-style analysis
+// and the queue items' "way of reaching a certain interface").
+type ReachMethod string
+
+// Reach methods.
+const (
+	ReachLaunch     ReachMethod = "launch"
+	ReachClick      ReachMethod = "click"
+	ReachReflection ReachMethod = "reflection"
+	ReachForced     ReachMethod = "forced-start"
+)
+
+// Visit records the first arrival at a node.
+type Visit struct {
+	Node   aftm.Node
+	Method ReachMethod
+	// Route is the operation list that reaches the node from a fresh start.
+	Route robotium.Script
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// Extraction is the static-phase output the run was based on.
+	Extraction *statics.Extraction
+	// Model is the final, evolved AFTM with visited marks.
+	Model *aftm.Model
+	// Visits maps each visited node to its first-arrival record.
+	Visits map[aftm.Node]Visit
+	// Collector holds the sensitive-API observations of the whole run.
+	Collector *sensitive.Collector
+	// InitialPlan is the UI transition queue generated from the static AFTM
+	// before any test case ran (§VI-B queue generation).
+	InitialPlan []PlannedItem
+	// Curve records cumulative coverage after each executed test case — the
+	// data behind a coverage-vs-budget figure. Points are appended only when
+	// coverage changes, plus a final point at the last test case.
+	Curve []CurvePoint
+	// CrashReports lists the distinct force-closes found during exploration,
+	// each with a replayable route — FragDroid as a fault finder ("detecting
+	// security information, such as sensitive APIs and potential
+	// vulnerabilities", §X).
+	CrashReports []CrashReport
+	// TestCases counts executed test cases; Steps the device work.
+	TestCases int
+	Steps     int
+	// Crashes counts force-closes observed during the run.
+	Crashes int
+	// Transcript is a human-readable run log.
+	Transcript []string
+}
+
+// VisitedActivities returns the visited activity classes, sorted.
+func (r *Result) VisitedActivities() []string {
+	return r.visitedOf(aftm.KindActivity)
+}
+
+// VisitedFragments returns the visited fragment classes, sorted.
+func (r *Result) VisitedFragments() []string {
+	return r.visitedOf(aftm.KindFragment)
+}
+
+func (r *Result) visitedOf(k aftm.NodeKind) []string {
+	var out []string
+	for n := range r.Visits {
+		if n.Kind == k {
+			out = append(out, n.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FragmentsInVisitedActivities computes the third column group of Table I:
+// the fragments whose (Algorithm 2) host activities were visited, and how
+// many of those were themselves visited.
+func (r *Result) FragmentsInVisitedActivities() (visited, sum int) {
+	visitedActs := make(map[string]bool)
+	for n := range r.Visits {
+		if n.Kind == aftm.KindActivity {
+			visitedActs[n.Name] = true
+		}
+	}
+	inVisited := make(map[string]bool)
+	for a, frags := range r.Extraction.Deps.FragmentsOf {
+		if !visitedActs[a] {
+			continue
+		}
+		for _, f := range frags {
+			inVisited[f] = true
+		}
+	}
+	for f := range inVisited {
+		sum++
+		if _, ok := r.Visits[aftm.FragmentNode(f)]; ok {
+			visited++
+		}
+	}
+	return visited, sum
+}
+
+// engine is the run state.
+type engine struct {
+	app *apk.App
+	ex  *statics.Extraction
+	cfg Config
+
+	model     *aftm.Model
+	visits    map[aftm.Node]Visit
+	collector *sensitive.Collector
+
+	// hints maps input-widget refs to their hint text (for InputGen).
+	hints map[string]string
+	// explored marks interface keys whose widgets were all clicked.
+	explored map[string]bool
+	// reflected marks activities whose reflection items were generated.
+	reflected map[string]bool
+	// worklist holds interfaces awaiting Case 3 exploration.
+	worklist []workItem
+
+	testCases    int
+	steps        int
+	crashes      int
+	curve        []CurvePoint
+	crashReports []CrashReport
+	crashSeen    map[string]bool
+	log          []string
+}
+
+// CrashReport is one distinct force-close with a route that reproduces it.
+type CrashReport struct {
+	// Reason is the FC message (exception-style).
+	Reason string
+	// Route is the operation list whose execution crashed the app.
+	Route robotium.Script
+}
+
+// CurvePoint is one sample of the coverage curve.
+type CurvePoint struct {
+	// TestCase is the cumulative number of executed test cases.
+	TestCase int
+	// Activities and Fragments are cumulative visited counts.
+	Activities int
+	Fragments  int
+}
+
+// workItem is the paper's UI-queue item: the way of reaching an interface,
+// start and target, and the operation list from start to target.
+type workItem struct {
+	method ReachMethod
+	target iface
+	route  robotium.Script
+}
+
+// iface identifies a fragment-level UI state: the activity, the credited
+// fragments on screen, and a digest of the visible clickable controls.
+// Including the control digest makes a revealed navigation drawer a distinct
+// UI state (Challenge 2 / Figure 2: the hidden slide menu "is the only
+// bridge" to further fragments), so its menu entries get their own
+// exploration pass.
+type iface struct {
+	activity  string
+	fragments string // sorted, comma-joined
+	widgets   string // digest of visible clickable refs
+}
+
+func (i iface) key() string { return i.activity + "|" + i.fragments + "|" + i.widgets }
+
+func (i iface) String() string {
+	if i.fragments == "" {
+		return i.activity
+	}
+	return i.activity + "{" + i.fragments + "}"
+}
+
+// Explore runs the full FragDroid pipeline on a loaded app.
+func Explore(app *apk.App, cfg Config) (*Result, error) {
+	ex, err := statics.Extract(app)
+	if err != nil {
+		return nil, err
+	}
+	return ExploreExtracted(ex, cfg)
+}
+
+// ExploreExtracted runs the dynamic phase on an existing static extraction.
+func ExploreExtracted(ex *statics.Extraction, cfg Config) (*Result, error) {
+	if cfg.MaxTestCases == 0 {
+		cfg.MaxTestCases = 600
+	}
+	e := &engine{
+		app:       ex.App,
+		ex:        ex,
+		cfg:       cfg,
+		model:     ex.Model.Clone(),
+		visits:    make(map[aftm.Node]Visit),
+		collector: sensitive.NewCollector(ex.App.Manifest.Package),
+		hints:     make(map[string]string),
+		explored:  make(map[string]bool),
+		reflected: make(map[string]bool),
+	}
+	for _, w := range ex.InputWidgets {
+		e.hints[w.Ref] = w.Hint
+	}
+	plan := PlanQueue(ex.Model)
+	for _, item := range plan {
+		e.logf("queue item %s", item)
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	e.sampleCurve()
+	return &Result{
+		Extraction:   ex,
+		InitialPlan:  plan,
+		Model:        e.model,
+		Visits:       e.visits,
+		Collector:    e.collector,
+		TestCases:    e.testCases,
+		Steps:        e.steps,
+		Crashes:      e.crashes,
+		Curve:        e.curve,
+		CrashReports: e.crashReports,
+		Transcript:   e.log,
+	}, nil
+}
+
+func (e *engine) logf(format string, args ...any) {
+	e.log = append(e.log, fmt.Sprintf(format, args...))
+}
+
+// halted reports whether a targeted run has already observed its API.
+func (e *engine) halted() bool {
+	return e.cfg.haltOnAPI != "" && e.collector.Has(e.cfg.haltOnAPI)
+}
+
+// newDevice provisions a fresh instrumented device (install + monitor).
+func (e *engine) newDevice() *device.Device {
+	return device.New(e.app, device.Options{Monitor: func(ev device.SensitiveEvent) {
+		e.collector.Observe(sensitive.Event(ev))
+	}})
+}
+
+// runScript provisions a device and executes one generated test case.
+func (e *engine) runScript(s robotium.Script) (*device.Device, robotium.Result, bool) {
+	if e.halted() {
+		return nil, robotium.Result{}, false
+	}
+	if e.testCases >= e.cfg.MaxTestCases {
+		return nil, robotium.Result{}, false
+	}
+	e.testCases++
+	d := e.newDevice()
+	res := robotium.Run(d, s, robotium.Options{AutoDismiss: true})
+	e.steps += d.Steps()
+	if res.Crashed {
+		e.crashes++
+		e.recordCrash(res.CrashReason, s)
+	}
+	e.sampleCurve()
+	return d, res, true
+}
+
+// recordCrash keeps one report per distinct crash reason, with the route
+// that reproduces it.
+func (e *engine) recordCrash(reason string, route robotium.Script) {
+	if reason == "" {
+		return
+	}
+	if e.crashSeen == nil {
+		e.crashSeen = make(map[string]bool)
+	}
+	if e.crashSeen[reason] {
+		return
+	}
+	e.crashSeen[reason] = true
+	e.crashReports = append(e.crashReports, CrashReport{Reason: reason, Route: route})
+	e.logf("crash recorded: %s (%d ops to reproduce)", reason, len(route.Ops))
+}
+
+// sampleCurve appends a coverage sample when coverage changed (always kept
+// current for the latest test case).
+func (e *engine) sampleCurve() {
+	var acts, frags int
+	for n := range e.visits {
+		if n.Kind == aftm.KindActivity {
+			acts++
+		} else {
+			frags++
+		}
+	}
+	p := CurvePoint{TestCase: e.testCases, Activities: acts, Fragments: frags}
+	if n := len(e.curve); n > 0 {
+		last := e.curve[n-1]
+		if last.Activities == p.Activities && last.Fragments == p.Fragments {
+			e.curve[n-1] = p // slide the flat tail forward
+			return
+		}
+	}
+	e.curve = append(e.curve, p)
+}
+
+// identifyFragments maps a dump to the credited fragment classes: fragments
+// the FragmentManager confirms AND the resource dependency can identify from
+// visible widgets (fragments with no identifiable widgets are trusted from
+// the FragmentManager alone). Fragments loaded without a FragmentManager are
+// never credited — FragDroid "cannot determine whether the Fragment is a
+// real loading" (§VII-B2).
+func (e *engine) identifyFragments(dump device.UIDump) []string {
+	byRes := make(map[string]bool)
+	for _, f := range e.ex.ResDeps.IdentifyFragments(dump.VisibleRefs()) {
+		byRes[f] = true
+	}
+	var out []string
+	for _, f := range dump.FMFragments {
+		if byRes[f] || len(e.ex.ResDeps.ByOwner[f]) == 0 {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *engine) observe(d *device.Device) (iface, device.UIDump, error) {
+	dump, err := d.Dump()
+	if err != nil {
+		return iface{}, dump, err
+	}
+	frags := e.identifyFragments(dump)
+	h := fnv.New64a()
+	for _, ref := range dump.ClickableRefs() {
+		_, _ = h.Write([]byte(ref))
+		_, _ = h.Write([]byte{0})
+	}
+	return iface{
+		activity:  dump.Activity,
+		fragments: strings.Join(frags, ","),
+		widgets:   fmt.Sprintf("%x", h.Sum64()),
+	}, dump, nil
+}
+
+// visit marks a node visited (Case 1/2 bookkeeping), recording the first
+// route that reached it and enqueuing nothing by itself.
+func (e *engine) visit(n aftm.Node, method ReachMethod, route robotium.Script) bool {
+	e.model.Visit(n)
+	if _, seen := e.visits[n]; seen {
+		return false
+	}
+	e.visits[n] = Visit{Node: n, Method: method, Route: route}
+	e.logf("visited %s via %s (%d ops)", n, method, len(route.Ops))
+	return true
+}
+
+// arrive processes a freshly observed interface: it credits unvisited nodes
+// (Cases 1 and 2) and enqueues the interface for Case 3 exploration if new.
+func (e *engine) arrive(st iface, method ReachMethod, route robotium.Script) {
+	actNode := aftm.ActivityNode(st.activity)
+	if e.model.HasNode(actNode) || e.app.Manifest.HasActivity(st.activity) {
+		e.visit(actNode, method, route)
+	}
+	if st.fragments != "" {
+		for _, f := range strings.Split(st.fragments, ",") {
+			e.visit(aftm.FragmentNode(f), method, route)
+		}
+	}
+	if !e.explored[st.key()] {
+		e.worklist = append(e.worklist, workItem{method: method, target: st, route: route})
+	}
+}
+
+// run is the evolutionary loop: initial launch, breadth-first interface
+// exploration, reflection items, and the forced-start second loop, repeated
+// until the queue is empty and the AFTM stops changing (§VI-C).
+func (e *engine) run() error {
+	entry, err := e.app.Manifest.EntryActivity()
+	if err != nil {
+		return err
+	}
+	launch := robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}}
+	d, res, ok := e.runScript(launch)
+	if !ok {
+		return errors.New("explorer: test-case budget exhausted before launch")
+	}
+	if res.Err != nil {
+		e.logf("entry launch failed: %v", res.Err)
+		return fmt.Errorf("explorer: cannot launch entry %s: %w", entry, res.Err)
+	}
+	st, _, err := e.observe(d)
+	if err != nil {
+		return err
+	}
+	e.arrive(st, ReachLaunch, launch)
+
+	for round := 1; ; round++ {
+		progressed := false
+		for len(e.worklist) > 0 && e.testCases < e.cfg.MaxTestCases {
+			item := e.worklist[0]
+			e.worklist = e.worklist[1:]
+			if e.explored[item.target.key()] {
+				continue
+			}
+			e.explored[item.target.key()] = true
+			e.logf("explore interface %s (reached via %s)", item.target, item.method)
+			e.exploreInterface(item)
+			progressed = true
+		}
+		if e.cfg.UseForcedStart && e.testCases < e.cfg.MaxTestCases {
+			if e.forcedStartPass() {
+				progressed = true
+			}
+		}
+		if !progressed || e.testCases >= e.cfg.MaxTestCases {
+			e.logf("terminated after round %d: queue empty and AFTM stable (test cases: %d)", round, e.testCases)
+			return nil
+		}
+	}
+}
+
+// replayTo re-provisions a device and replays a route, verifying arrival.
+func (e *engine) replayTo(item workItem) (*device.Device, bool) {
+	d, res, ok := e.runScript(item.route)
+	if !ok {
+		return nil, false
+	}
+	if res.Err != nil {
+		e.logf("replay to %s failed at %q: %v", item.target, res.FailedOp, res.Err)
+		return nil, false
+	}
+	st, _, err := e.observe(d)
+	if err != nil {
+		e.logf("replay to %s: observe failed: %v", item.target, err)
+		return nil, false
+	}
+	if st.key() != item.target.key() {
+		e.logf("replay diverged: wanted %s, got %s", item.target, st)
+		return nil, false
+	}
+	return d, true
+}
+
+// inputValue resolves the value for an input widget: the analyst input file
+// first, then the input generator keyed on the widget's hint (§VIII
+// extension), then the default filler.
+func (e *engine) inputValue(ref string) string {
+	if val, ok := e.cfg.Inputs[ref]; ok && val != "" {
+		return val
+	}
+	if e.cfg.InputGen != nil {
+		if val, ok := e.cfg.InputGen.Generate(ref, e.hints[ref]); ok {
+			return val
+		}
+	}
+	return e.cfg.DefaultInput
+}
+
+// exploreInterface is §VI-A Case 3: on a (re)visited interface, complete the
+// input fields and click every clickable control top-to-bottom; each click
+// that changes the interface is followed by a restart-and-replay so the
+// remaining widgets still get clicked. New activities and fragments found on
+// the way trigger Cases 1 and 2. Afterwards, reflection items are generated
+// for the activity's unvisited dependent fragments.
+func (e *engine) exploreInterface(item workItem) {
+	d, ok := e.replayTo(item)
+	if !ok {
+		return
+	}
+	dump, err := d.Dump()
+	if err != nil {
+		return
+	}
+	if dump.HasDialog {
+		if err := d.DismissDialog(); err == nil {
+			dump, _ = d.Dump()
+		}
+	}
+	clickables := dump.ClickableRefs()
+	e.logf("interface %s: %d clickable widgets", item.target, len(clickables))
+
+	fresh := false // d currently sits at the target interface
+	for _, ref := range clickables {
+		if fresh {
+			var ok bool
+			d, ok = e.replayTo(item)
+			if !ok {
+				return
+			}
+			fresh = false
+		}
+		cur, preDump, err := e.observe(d)
+		if err != nil || cur.key() != item.target.key() {
+			return
+		}
+		// Compute the fill operations once and apply exactly those, so the
+		// recorded route replays the same values even with a stateful
+		// generator (inputgen.Dictionary rotates candidates per call).
+		fillOps := e.fillOps(preDump)
+		for _, op := range fillOps {
+			if err := d.EnterText(op.Ref, op.Value); err != nil {
+				e.logf("fill %s: %v", op.Ref, err)
+			}
+		}
+		ownerFrag := widgetFragment(preDump, ref)
+		if err := d.Click(ref); err != nil {
+			e.logf("click %s: %v", ref, err)
+			continue
+		}
+		if d.Crashed() {
+			// Case 3: the app crashed — restart and continue clicking.
+			e.logf("click %s crashed the app: %s", ref, d.CrashReason())
+			e.crashes++
+			e.recordCrash(d.CrashReason(),
+				item.route.Append("crash_"+ref, append(fillOps, robotium.Click(ref))...))
+			fresh = true
+			continue
+		}
+		after, _, err := e.observe(d)
+		if err != nil {
+			fresh = true
+			continue
+		}
+		if after.key() == item.target.key() {
+			// Interface unchanged (or a popup was handled): move on.
+			continue
+		}
+		// The interface changed: record transitions and the new state, then
+		// kill and restart for the remaining widgets.
+		route := item.route.Append("reach_"+ref, append(fillOps, robotium.Click(ref))...)
+		e.recordTransition(item.target, ownerFrag, after, ref)
+		e.arrive(after, ReachClick, route)
+		fresh = true
+		// Optional optimization: if BACK restores the interface, keep the
+		// session instead of replaying from scratch.
+		if e.cfg.UseBackNavigation && after.activity != item.target.activity {
+			if err := d.Back(); err == nil {
+				if back, _, err := e.observe(d); err == nil && back.key() == item.target.key() {
+					fresh = false
+				}
+			}
+		}
+	}
+
+	e.reflectionItems(item)
+}
+
+// widgetFragment finds which fragment (if any) owned the clicked widget.
+func widgetFragment(dump device.UIDump, ref string) string {
+	for _, w := range dump.Widgets {
+		if w.Ref == ref {
+			return w.FromFragment
+		}
+	}
+	return ""
+}
+
+// fillOps renders the input fills for an interface as script operations, so
+// recorded routes replay the same values fillInputs applied.
+func (e *engine) fillOps(dump device.UIDump) []robotium.Op {
+	var ops []robotium.Op
+	for _, eref := range dump.EditableRefs() {
+		if val := e.inputValue(eref); val != "" {
+			ops = append(ops, robotium.EnterText(eref, val))
+		}
+	}
+	return ops
+}
+
+// recordTransition updates the AFTM with an observed transition (the
+// evolutionary model update).
+func (e *engine) recordTransition(from iface, ownerFrag string, to iface, ref string) {
+	host := func(f string) (string, bool) { return e.ex.Deps.PrimaryHost(f) }
+	via := aftm.ViaClick(ref)
+
+	src := aftm.ActivityNode(from.activity)
+	if ownerFrag != "" {
+		src = aftm.FragmentNode(ownerFrag)
+	}
+	if to.activity != from.activity {
+		if _, err := e.model.MergeEdge(src, aftm.ActivityNode(to.activity), via, host); err != nil {
+			e.logf("model update %s -> %s: %v", src, to.activity, err)
+		}
+	}
+	// Fragment arrivals: edge from the click source to each newly shown
+	// fragment of the destination interface.
+	if to.fragments == "" {
+		return
+	}
+	prev := make(map[string]bool)
+	if from.fragments != "" && to.activity == from.activity {
+		for _, f := range strings.Split(from.fragments, ",") {
+			prev[f] = true
+		}
+	}
+	for _, f := range strings.Split(to.fragments, ",") {
+		if prev[f] {
+			continue
+		}
+		fromNode := src
+		if to.activity != from.activity {
+			// Cross-activity arrival: the fragment edge belongs to the new
+			// host activity (A → F_i after merging).
+			fromNode = aftm.ActivityNode(to.activity)
+		}
+		if fromNode == aftm.FragmentNode(f) {
+			continue
+		}
+		if fromNode.Kind == aftm.KindActivity && fromNode.Name == to.activity {
+			// The fragment was observed on this very activity's screen:
+			// a direct E2, regardless of the fragment's other hosts.
+			if _, err := e.model.AddEdge(fromNode, aftm.FragmentNode(f), via); err != nil {
+				e.logf("model update %s -> F:%s: %v", fromNode, f, err)
+			}
+			continue
+		}
+		if _, err := e.model.MergeEdge(fromNode, aftm.FragmentNode(f), via, host); err != nil {
+			e.logf("model update %s -> F:%s: %v", fromNode, f, err)
+		}
+	}
+}
+
+// reflectionItems is §VI-A Case 1's second half: for an activity that uses a
+// FragmentManager, one item per dependent unvisited fragment, reached with
+// the Java reflection mechanism. A successful explicit click found earlier
+// has priority (the fragment would already be visited).
+func (e *engine) reflectionItems(item workItem) {
+	if !e.cfg.UseReflection {
+		return
+	}
+	act := item.target.activity
+	if e.reflected[act] {
+		return
+	}
+	e.reflected[act] = true
+	if !e.ex.UsesFragmentManager[act] {
+		return
+	}
+	containers := e.ex.Containers[act]
+	if len(containers) == 0 {
+		return
+	}
+	for _, frag := range e.ex.Deps.FragmentsOf[act] {
+		if _, seen := e.visits[aftm.FragmentNode(frag)]; seen {
+			continue
+		}
+		// Only FragmentTransaction-switched fragments have a reflective
+		// switch template; merely referenced or view-inflated fragments
+		// cannot be confirmed as real loadings (§VII-B2).
+		if !e.ex.TxnCommitted[frag] {
+			e.logf("reflection skipped for %s: no FragmentTransaction switches it", frag)
+			continue
+		}
+		if e.testCases >= e.cfg.MaxTestCases {
+			return
+		}
+		// Try each container of the activity's layouts until one accepts the
+		// reflective transaction (the paper constructs the switch "with the
+		// Fragment container's resource-ID"; multi-pane activities have more
+		// than one candidate).
+		for _, container := range containers {
+			route := item.route.Append("reflect_"+frag, robotium.Reflect(frag, container))
+			d, res, ok := e.runScript(route)
+			if !ok {
+				return
+			}
+			if res.Err != nil {
+				e.logf("reflection to %s in %s via %s failed: %v", frag, act, container, res.Err)
+				continue
+			}
+			st, _, err := e.observe(d)
+			if err != nil {
+				continue
+			}
+			credited := false
+			for _, f := range strings.Split(st.fragments, ",") {
+				if f == frag {
+					credited = true
+				}
+			}
+			if !credited {
+				e.logf("reflection to %s in %s not confirmed by instrumentation", frag, act)
+				continue
+			}
+			// The reflective transaction committed into this activity's own
+			// container: a direct E2.
+			if _, err := e.model.AddEdge(aftm.ActivityNode(act), aftm.FragmentNode(frag), aftm.ViaReflection); err != nil {
+				e.logf("model update reflect %s: %v", frag, err)
+			}
+			e.arrive(st, ReachReflection, route)
+			break
+		}
+	}
+}
+
+// forcedStartPass is the §VI-C second loop: every still-unvisited effective
+// Activity is invoked through an empty Intent against the MAIN-patched
+// manifest; successful starts are processed like normal arrivals. It reports
+// whether anything new was visited or enqueued.
+func (e *engine) forcedStartPass() bool {
+	progressed := false
+	for _, n := range e.model.Unvisited(aftm.KindActivity) {
+		if e.testCases >= e.cfg.MaxTestCases {
+			break
+		}
+		script := robotium.Script{
+			Name: "force_" + n.Name,
+			Ops:  []robotium.Op{robotium.ForceStart(n.Name)},
+		}
+		d, res, ok := e.runScript(script)
+		if !ok {
+			break
+		}
+		if res.Err != nil {
+			e.logf("forced start of %s failed: %v (%s)", n.Name, res.Err, res.CrashReason)
+			continue
+		}
+		st, _, err := e.observe(d)
+		if err != nil {
+			continue
+		}
+		e.arrive(st, ReachForced, script)
+		progressed = true
+	}
+	return progressed
+}

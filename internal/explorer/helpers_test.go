@@ -1,0 +1,51 @@
+package explorer
+
+import (
+	"fmt"
+	"strings"
+
+	"fragdroid/internal/aftm"
+	"fragdroid/internal/apk"
+	"fragdroid/internal/device"
+	"fragdroid/internal/robotium"
+)
+
+func newTestDevice(app *apk.App) *device.Device {
+	return device.New(app, device.Options{})
+}
+
+func runScriptOn(d *device.Device, s robotium.Script) error {
+	res := robotium.Run(d, s, robotium.Options{AutoDismiss: true})
+	return res.Err
+}
+
+// verifyNodeOnScreen checks that the node is present after replay: the
+// activity is foreground, or the fragment is confirmed by the
+// FragmentManager.
+func verifyNodeOnScreen(d *device.Device, res *Result, n aftm.Node) error {
+	dump, err := d.Dump()
+	if err != nil {
+		return err
+	}
+	switch n.Kind {
+	case aftm.KindActivity:
+		if dump.Activity != n.Name {
+			return fmt.Errorf("foreground is %s, want %s", dump.Activity, n.Name)
+		}
+	case aftm.KindFragment:
+		if !contains(dump.FMFragments, n.Name) {
+			return fmt.Errorf("fragment %s not on screen (have %s)", n.Name,
+				strings.Join(dump.FMFragments, ","))
+		}
+	}
+	return nil
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package explorer
+
+import (
+	"testing"
+
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/inputgen"
+)
+
+// weatherSpec models the com.weather.Weather scenario of §V-C: a search box
+// that must contain the name of an existing place before the app moves on.
+func weatherSpec(t *testing.T) *corpus.AppSpec {
+	t.Helper()
+	city, ok := inputgen.ValueFor("city")
+	if !ok {
+		t.Fatal("inputgen has no city value")
+	}
+	return &corpus.AppSpec{
+		Package: "com.weather.demo",
+		Activities: []corpus.ActivitySpec{
+			{Name: "Main", Launcher: true},
+			{Name: "Forecast", RequiresExtra: "place",
+				Sensitive: []string{"location/getProviders"}},
+		},
+		Transition: []corpus.Transition{
+			{From: "Main", To: "Forecast", Kind: corpus.TransButton,
+				Gate: &corpus.InputGate{Expected: city, Hint: "Enter a city name"}},
+		},
+	}
+}
+
+func TestInputGeneratorUnlocksHintGatedActivity(t *testing.T) {
+	app, err := corpus.BuildApp(weatherSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain FragDroid: random default text never names an existing place.
+	plain, err := Explore(app, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plain.VisitedActivities() {
+		if a == "com.weather.demo.Forecast" {
+			t.Fatal("Forecast reached without input generation")
+		}
+	}
+
+	// With the §VIII heuristic generator the hint derives the right value.
+	cfg := DefaultConfig()
+	cfg.InputGen = &inputgen.Heuristic{}
+	smart, err := Explore(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range smart.VisitedActivities() {
+		if a == "com.weather.demo.Forecast" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("heuristic input generation failed to unlock the gate; visited %v",
+			smart.VisitedActivities())
+	}
+	// The gated activity's sensitive API surfaces only in the smart run.
+	apis := func(r *Result) map[string]bool {
+		out := make(map[string]bool)
+		for _, u := range r.Collector.Usages() {
+			out[u.API] = true
+		}
+		return out
+	}
+	if apis(plain)["location/getProviders"] {
+		t.Error("plain run observed the gated API")
+	}
+	if !apis(smart)["location/getProviders"] {
+		t.Error("smart run missed the gated API")
+	}
+}
+
+func TestExplicitInputsBeatGenerator(t *testing.T) {
+	// The analyst file takes precedence over generated values.
+	spec := weatherSpec(t)
+	spec.Transition[0].Gate.Expected = "Qingdao" // not what the heuristic says
+	app, err := corpus.BuildApp(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.InputGen = &inputgen.Heuristic{}
+	cfg.Inputs = map[string]string{corpus.InputRef("Main", "Forecast"): "Qingdao"}
+	res, err := Explore(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.VisitedActivities() {
+		if a == "com.weather.demo.Forecast" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("explicit input not honoured; visited %v", res.VisitedActivities())
+	}
+}
+
+func TestDictionaryGeneratorRetriesAcrossPasses(t *testing.T) {
+	spec := weatherSpec(t)
+	spec.Transition[0].Gate.Expected = "opensesame"
+	app, err := corpus.BuildApp(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.InputGen = &inputgen.Dictionary{Words: []string{"wrong", "opensesame"}}
+	res, err := Explore(app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first pass fills "wrong" (gate fails, dialog state changes the
+	// interface digest, triggering a re-exploration pass), the second fills
+	// "opensesame". Either way the dictionary must not break the run; reaching
+	// Forecast is a bonus that depends on pass scheduling.
+	if len(res.VisitedActivities()) == 0 {
+		t.Fatal("nothing visited")
+	}
+}

@@ -1,0 +1,44 @@
+package explorer
+
+import (
+	"testing"
+
+	"fragdroid/internal/sensitive"
+)
+
+// The corpus generator declares every permission its sensitive APIs need, so
+// a full exploration audits clean; removing a declaration surfaces exactly
+// the affected observed APIs.
+func TestPermissionAuditOnDemoApp(t *testing.T) {
+	res := exploreDemo(t, fullConfig())
+	man := res.Extraction.App.Manifest
+	var declared []string
+	for _, p := range man.Permissions {
+		declared = append(declared, p.Name)
+	}
+	if len(declared) == 0 {
+		t.Fatal("demo app declares no permissions")
+	}
+	if f := sensitive.AuditPermissions(declared, res.Collector.Usages()); len(f) != 0 {
+		t.Fatalf("well-formed app has findings: %+v", f)
+	}
+
+	// Strip the location permission: the Account activity's observed
+	// location call becomes a finding.
+	var stripped []string
+	for _, p := range declared {
+		if p != "android.permission.ACCESS_FINE_LOCATION" {
+			stripped = append(stripped, p)
+		}
+	}
+	if len(stripped) == len(declared) {
+		t.Fatal("location permission was not declared to begin with")
+	}
+	findings := sensitive.AuditPermissions(stripped, res.Collector.Usages())
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if findings[0].API != "location/requestLocationUpdates" {
+		t.Fatalf("finding = %+v", findings[0])
+	}
+}

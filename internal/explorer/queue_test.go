@@ -1,0 +1,87 @@
+package explorer
+
+import (
+	"strings"
+	"testing"
+
+	"fragdroid/internal/aftm"
+	"fragdroid/internal/statics"
+)
+
+func TestPlanQueueOverDemoModel(t *testing.T) {
+	ex, err := statics.Extract(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanQueue(ex.Model)
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	// One item per node reachable from the entry, entry first.
+	reachable := ex.Model.BFS()
+	if len(plan) != len(reachable) {
+		t.Fatalf("plan = %d items, reachable = %d", len(plan), len(reachable))
+	}
+	entry, _ := ex.Model.Entry()
+	first := plan[0]
+	if first.Target != entry || first.Method != ReachLaunch || len(first.Path) != 0 {
+		t.Fatalf("entry item = %+v", first)
+	}
+	for i, item := range plan {
+		if item.Index != i {
+			t.Errorf("item %d carries index %d", i, item.Index)
+		}
+		if item.Target == entry {
+			continue
+		}
+		// Each path starts at the entry, is edge-connected, and ends at the
+		// target; the start is the second-to-last node.
+		cur := entry
+		for _, e := range item.Path {
+			if e.From != cur {
+				t.Fatalf("item %d: path broken at %v", i, e)
+			}
+			cur = e.To
+		}
+		if cur != item.Target {
+			t.Fatalf("item %d: path ends at %v, want %v", i, cur, item.Target)
+		}
+		if item.Start != item.Path[len(item.Path)-1].From {
+			t.Fatalf("item %d: start %v inconsistent with path", i, item.Start)
+		}
+	}
+	// Fragment targets without explicit click edges plan the reflection
+	// mechanism (§VI-B).
+	var sawReflection bool
+	for _, item := range plan {
+		if item.Target.Kind == aftm.KindFragment && item.Method == ReachReflection {
+			sawReflection = true
+		}
+	}
+	if !sawReflection {
+		t.Error("no fragment item planned via reflection")
+	}
+}
+
+func TestPlanQueueEmptyModel(t *testing.T) {
+	if got := PlanQueue(aftm.New()); got != nil {
+		t.Fatalf("plan on entry-less model = %v", got)
+	}
+}
+
+func TestInitialPlanInResultAndTranscript(t *testing.T) {
+	res := exploreDemo(t, fullConfig())
+	if len(res.InitialPlan) == 0 {
+		t.Fatal("result carries no initial plan")
+	}
+	joined := strings.Join(res.Transcript, "\n")
+	if !strings.Contains(joined, "queue item #0") {
+		t.Error("transcript missing queue items")
+	}
+	// Every planned item renders.
+	for _, item := range res.InitialPlan {
+		if item.String() == "" {
+			t.Errorf("item %d renders empty", item.Index)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package explorer
+
+import (
+	"fmt"
+	"sort"
+
+	"fragdroid/internal/aftm"
+	"fragdroid/internal/statics"
+)
+
+// TargetPlan describes one statically identified site of a target sensitive
+// API and the AFTM path that leads to it — the "Activity switch path that
+// leads to the sensitive API calls" of SmartDroid (§IX), lifted to the
+// Fragment level.
+type TargetPlan struct {
+	// API is the targeted sensitive API.
+	API string
+	// Site is the component class invoking the API.
+	Site aftm.Node
+	// Path is the static AFTM path from the entry, nil when the site is
+	// statically unreachable (forced starts may still reach it).
+	Path []aftm.Edge
+}
+
+// PlanForAPI lists the static sites of the API with their AFTM paths, sorted
+// by site node.
+func PlanForAPI(ex *statics.Extraction, api string) []TargetPlan {
+	var plans []TargetPlan
+	for _, cls := range ex.SensitiveSites[api] {
+		var node aftm.Node
+		if ex.App.Program.IsFragmentClass(cls) {
+			node = aftm.FragmentNode(cls)
+		} else {
+			node = aftm.ActivityNode(cls)
+		}
+		plans = append(plans, TargetPlan{API: api, Site: node, Path: ex.Model.PathTo(node)})
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].Site.String() < plans[j].Site.String() })
+	return plans
+}
+
+// TargetResult is the outcome of a targeted exploration.
+type TargetResult struct {
+	// API is the target.
+	API string
+	// Triggered reports whether the API was observed at runtime.
+	Triggered bool
+	// Plans are the static sites and paths.
+	Plans []TargetPlan
+	// Result is the (possibly early-halted) exploration behind the run. It
+	// is nil when the static phase found no site at all — SmartDroid-style
+	// targeting skips the dynamic phase entirely then.
+	Result *Result
+}
+
+// ExploreTarget runs a SmartDroid-style targeted test: the static phase
+// locates the API's sites and paths, then the evolutionary exploration runs
+// until the API is observed (or the model is exhausted). The exploration is
+// the same engine as Explore — the target only installs an early halt, so a
+// triggered result carries the concrete operation route that fired the API.
+func ExploreTarget(ex *statics.Extraction, cfg Config, api string) (*TargetResult, error) {
+	if api == "" {
+		return nil, fmt.Errorf("explorer: empty target API")
+	}
+	plans := PlanForAPI(ex, api)
+	if len(plans) == 0 {
+		return &TargetResult{API: api}, nil
+	}
+	cfg.haltOnAPI = api
+	res, err := ExploreExtracted(ex, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TargetResult{
+		API:       api,
+		Triggered: res.Collector.Has(api),
+		Plans:     plans,
+		Result:    res,
+	}, nil
+}

@@ -1,0 +1,113 @@
+package explorer
+
+import (
+	"testing"
+
+	"fragdroid/internal/aftm"
+	"fragdroid/internal/statics"
+)
+
+func TestPlanForAPI(t *testing.T) {
+	ex, err := statics.Extract(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// media/Camera.startPreview lives in the Promo fragment (drawer-hidden).
+	plans := PlanForAPI(ex, "media/Camera.startPreview")
+	if len(plans) != 1 {
+		t.Fatalf("plans = %+v", plans)
+	}
+	p := plans[0]
+	if p.Site != aftm.FragmentNode(pkg+"Promo") {
+		t.Fatalf("site = %v", p.Site)
+	}
+	if len(p.Path) == 0 {
+		t.Fatal("no static path to Promo")
+	}
+	if p.Path[len(p.Path)-1].To != p.Site {
+		t.Fatalf("path ends at %v", p.Path[len(p.Path)-1].To)
+	}
+	// An API nobody calls has no plans.
+	if got := PlanForAPI(ex, "browser/Downloads"); got != nil {
+		t.Fatalf("phantom plans: %v", got)
+	}
+}
+
+func TestExploreTargetTriggersAndHaltsEarly(t *testing.T) {
+	ex, err := statics.Extract(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ExploreExtracted(ex, fullConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ex2, err := statics.Extract(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ExploreTarget(ex2, fullConfig(), "media/Camera.startPreview")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Triggered {
+		t.Fatal("target API not triggered")
+	}
+	if len(tr.Plans) != 1 {
+		t.Fatalf("plans = %+v", tr.Plans)
+	}
+	// Early halt: the targeted run spends no more (and normally fewer) test
+	// cases than full exploration.
+	if tr.Result.TestCases > full.TestCases {
+		t.Errorf("targeted run used %d cases, full run %d", tr.Result.TestCases, full.TestCases)
+	}
+}
+
+func TestExploreTargetUnreachableAPI(t *testing.T) {
+	ex, err := statics.Extract(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VIP's API exists statically but is dynamically unreachable
+	// (requires-args reflection failure).
+	tr, err := ExploreTarget(ex, fullConfig(), "phone/Configuration.MCC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Triggered {
+		t.Fatal("unreachable API reported triggered")
+	}
+	if len(tr.Plans) != 1 || tr.Plans[0].Site != aftm.FragmentNode(pkg+"VIP") {
+		t.Fatalf("plans = %+v", tr.Plans)
+	}
+}
+
+func TestExploreTargetValidation(t *testing.T) {
+	ex, err := statics.Extract(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExploreTarget(ex, fullConfig(), ""); err == nil {
+		t.Fatal("empty API accepted")
+	}
+}
+
+func TestSensitiveSitesIndex(t *testing.T) {
+	ex, err := statics.Extract(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"internet/connect":                pkg + "Main",
+		"internet/inet":                   pkg + "Home",
+		"system/getInstalledApplications": pkg + "Lab",
+		"phone/getDeviceId":               pkg + "Secret",
+	}
+	for api, owner := range cases {
+		sites := ex.SensitiveSites[api]
+		if len(sites) != 1 || sites[0] != owner {
+			t.Errorf("SensitiveSites[%s] = %v, want [%s]", api, sites, owner)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package explorer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fragdroid/internal/aftm"
+	"fragdroid/internal/robotium"
+)
+
+// TestProgram is one emitted Robotium test case: the paper's pipeline
+// renders queue items into Java test programs, packages them into the target
+// app with Ant, and runs them through `am instrument` (§VI-B and §VI-A).
+type TestProgram struct {
+	// Name is a Java-identifier-safe test class name.
+	Name string
+	// Target is the node the program reaches.
+	Target aftm.Node
+	// Method is how the target is reached.
+	Method ReachMethod
+	// Script is the operation list.
+	Script robotium.Script
+	// Java is the rendered Robotium test program.
+	Java string
+}
+
+// TestPrograms renders one Robotium test program per first-arrival route of
+// the exploration, sorted by target node. These are the durable artifacts of
+// the run: replaying program i on a fresh device reproduces the visit.
+func (r *Result) TestPrograms() []TestProgram {
+	nodes := make([]aftm.Node, 0, len(r.Visits))
+	for n := range r.Visits {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Kind != nodes[j].Kind {
+			return nodes[i].Kind < nodes[j].Kind
+		}
+		return nodes[i].Name < nodes[j].Name
+	})
+	out := make([]TestProgram, 0, len(nodes))
+	for i, n := range nodes {
+		v := r.Visits[n]
+		name := fmt.Sprintf("Reach%02d_%s", i, javaIdent(simpleName(n.Name)))
+		s := v.Route
+		s.Name = name
+		out = append(out, TestProgram{
+			Name:   name,
+			Target: n,
+			Method: v.Method,
+			Script: s,
+			Java:   robotium.RenderJava(s),
+		})
+	}
+	return out
+}
+
+// BuildXML renders an Ant build file covering the emitted programs — the
+// paper packages generated tests into the target app with Ant (§VI-A).
+func BuildXML(pkg string, programs []TestProgram) string {
+	var b strings.Builder
+	b.WriteString("<?xml version=\"1.0\"?>\n")
+	fmt.Fprintf(&b, "<project name=%q default=\"instrument\">\n", pkg+".tests")
+	b.WriteString("  <target name=\"compile\">\n")
+	for _, p := range programs {
+		fmt.Fprintf(&b, "    <javac srcfile=\"src/%s.java\"/>\n", p.Name)
+	}
+	b.WriteString("  </target>\n")
+	b.WriteString("  <target name=\"instrument\" depends=\"compile\">\n")
+	fmt.Fprintf(&b, "    <exec executable=\"adb\"><arg line=\"shell am instrument -w %s.tests/android.test.InstrumentationTestRunner\"/></exec>\n", pkg)
+	b.WriteString("  </target>\n")
+	b.WriteString("</project>\n")
+	return b.String()
+}
+
+func simpleName(dotted string) string {
+	if i := strings.LastIndexByte(dotted, '.'); i >= 0 {
+		return dotted[i+1:]
+	}
+	return dotted
+}
+
+func javaIdent(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "Target"
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package explorer
+
+import (
+	"strings"
+	"testing"
+
+	"fragdroid/internal/robotium"
+)
+
+func TestTestProgramsRenderAndReplay(t *testing.T) {
+	res := exploreDemo(t, fullConfig())
+	programs := res.TestPrograms()
+	if len(programs) != len(res.Visits) {
+		t.Fatalf("programs = %d, visits = %d", len(programs), len(res.Visits))
+	}
+	seen := make(map[string]bool)
+	for _, p := range programs {
+		if seen[p.Name] {
+			t.Errorf("duplicate program name %s", p.Name)
+		}
+		seen[p.Name] = true
+		if !strings.Contains(p.Java, "public class "+p.Name) {
+			t.Errorf("program %s: java does not declare its class", p.Name)
+		}
+		if !strings.Contains(p.Java, "Solo") {
+			t.Errorf("program %s: not a Robotium test", p.Name)
+		}
+		// Each emitted program replays on a fresh device and lands on its
+		// target (the durable-artifact property).
+		d := newTestDevice(res.Extraction.App)
+		r := robotium.Run(d, p.Script, robotium.Options{AutoDismiss: true})
+		if r.Err != nil {
+			t.Errorf("program %s fails to replay: %v", p.Name, r.Err)
+			continue
+		}
+		if err := verifyNodeOnScreen(d, res, p.Target); err != nil {
+			t.Errorf("program %s: %v", p.Name, err)
+		}
+	}
+	// Sorted: activities before fragments.
+	sawFragment := false
+	for _, p := range programs {
+		if p.Target.Kind == 2 {
+			sawFragment = true
+		} else if sawFragment {
+			t.Fatal("programs not sorted activities-first")
+		}
+	}
+}
+
+func TestBuildXML(t *testing.T) {
+	res := exploreDemo(t, fullConfig())
+	programs := res.TestPrograms()
+	xml := BuildXML("com.demo.app", programs)
+	if !strings.Contains(xml, `<project name="com.demo.app.tests"`) {
+		t.Fatalf("build.xml header wrong:\n%s", xml)
+	}
+	for _, p := range programs {
+		if !strings.Contains(xml, p.Name+".java") {
+			t.Errorf("build.xml missing %s", p.Name)
+		}
+	}
+	if !strings.Contains(xml, "am instrument -w com.demo.app.tests") {
+		t.Error("build.xml missing instrument target")
+	}
+}

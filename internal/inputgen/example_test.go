@@ -1,0 +1,26 @@
+package inputgen_test
+
+import (
+	"fmt"
+
+	"fragdroid/internal/inputgen"
+)
+
+// A chain consults the analyst's input file first, then derives values from
+// widget hints.
+func ExampleChain() {
+	gen := inputgen.Chain{
+		inputgen.Fixed{"@id/login_user": "analyst-supplied"},
+		&inputgen.Heuristic{},
+	}
+	v, _ := gen.Generate("@id/login_user", "user name")
+	fmt.Println(v)
+	v, _ = gen.Generate("@id/search_city", "Enter a city name")
+	fmt.Println(v)
+	_, ok := gen.Generate("@id/opaque", "???")
+	fmt.Println("opaque hint handled:", ok)
+	// Output:
+	// analyst-supplied
+	// Jinan
+	// opaque hint handled: false
+}

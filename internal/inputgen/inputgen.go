@@ -1,0 +1,159 @@
+// Package inputgen implements the input-generation extension the paper
+// leaves as future work (§VIII: "better input generation methods will be
+// integrated"). The baseline FragDroid relies on a manually filled input
+// file (§V-C); the generators here derive plausible values automatically
+// from the widget's hint text, in the spirit of Chen et al.'s
+// state-and-context input generation cited by the paper.
+//
+// Generators compose: Chain tries each in order, Fixed serves an explicit
+// ref→value table (the manual input file), Heuristic matches hint keywords
+// to canonical domain values, and Dictionary rotates through a wordlist.
+package inputgen
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Generator produces a candidate value for an input widget. ok is false when
+// the generator has no suggestion for this widget.
+type Generator interface {
+	Generate(ref, hint string) (value string, ok bool)
+}
+
+// Fixed serves values from an explicit table keyed by widget ref — the
+// programmatic form of the paper's analyst-filled input file.
+type Fixed map[string]string
+
+// Generate implements Generator.
+func (f Fixed) Generate(ref, _ string) (string, bool) {
+	v, ok := f[ref]
+	return v, ok && v != ""
+}
+
+// canonical maps hint keywords to domain-plausible values. The table is
+// ordered: more specific keywords come first so "email address" hits email,
+// not address.
+var canonical = []struct {
+	keyword string
+	value   string
+}{
+	{"email", "user@example.com"},
+	{"phone", "+1-555-0100"},
+	{"url", "https://example.com"},
+	{"website", "https://example.com"},
+	{"zip", "94103"},
+	{"postal", "94103"},
+	{"date", "2018-06-25"},
+	{"city", "Jinan"},
+	{"place", "Jinan"},
+	{"address", "Jinan"},
+	{"password", "hunter2!"},
+	{"user", "alice"},
+	{"name", "alice"},
+	{"account", "alice"},
+	{"search", "weather"},
+	{"query", "weather"},
+	{"code", "1234"},
+	{"pin", "1234"},
+	{"amount", "42"},
+	{"age", "30"},
+}
+
+// ValueFor returns the canonical value for a hint keyword, so tests and
+// corpus apps can gate transitions on values the heuristic will produce.
+// The boolean result reports whether the keyword is known.
+func ValueFor(keyword string) (string, bool) {
+	for _, c := range canonical {
+		if c.keyword == keyword {
+			return c.value, true
+		}
+	}
+	return "", false
+}
+
+// Keywords lists the known hint keywords, sorted.
+func Keywords() []string {
+	out := make([]string, 0, len(canonical))
+	for _, c := range canonical {
+		out = append(out, c.keyword)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Heuristic derives values from hint text by keyword matching. Extra entries
+// take precedence over the built-in table.
+type Heuristic struct {
+	// Extra maps additional lowercase keywords to values.
+	Extra map[string]string
+}
+
+// Generate implements Generator: the first keyword contained in the
+// lowercased hint wins.
+func (h *Heuristic) Generate(_, hint string) (string, bool) {
+	l := strings.ToLower(hint)
+	if l == "" {
+		return "", false
+	}
+	for kw, v := range h.Extra {
+		if strings.Contains(l, strings.ToLower(kw)) {
+			return v, true
+		}
+	}
+	for _, c := range canonical {
+		if strings.Contains(l, c.keyword) {
+			return c.value, true
+		}
+	}
+	return "", false
+}
+
+// Dictionary rotates through a wordlist per widget, so that repeated
+// exploration passes over the same gate try different candidates — a cheap
+// brute-force fallback. It is safe for concurrent use.
+type Dictionary struct {
+	Words []string
+
+	mu   sync.Mutex
+	next map[string]int
+}
+
+// Generate implements Generator.
+func (d *Dictionary) Generate(ref, _ string) (string, bool) {
+	if len(d.Words) == 0 {
+		return "", false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.next == nil {
+		d.next = make(map[string]int)
+	}
+	i := d.next[ref]
+	d.next[ref] = i + 1
+	return d.Words[i%len(d.Words)], true
+}
+
+// Chain tries each generator in order and returns the first suggestion.
+type Chain []Generator
+
+// Generate implements Generator.
+func (c Chain) Generate(ref, hint string) (string, bool) {
+	for _, g := range c {
+		if g == nil {
+			continue
+		}
+		if v, ok := g.Generate(ref, hint); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+var (
+	_ Generator = Fixed(nil)
+	_ Generator = (*Heuristic)(nil)
+	_ Generator = (*Dictionary)(nil)
+	_ Generator = Chain(nil)
+)

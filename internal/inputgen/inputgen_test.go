@@ -1,0 +1,124 @@
+package inputgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFixed(t *testing.T) {
+	g := Fixed{"@id/a": "v", "@id/empty": ""}
+	if v, ok := g.Generate("@id/a", ""); !ok || v != "v" {
+		t.Fatalf("Generate = %q, %v", v, ok)
+	}
+	if _, ok := g.Generate("@id/missing", "whatever"); ok {
+		t.Fatal("missing ref generated")
+	}
+	if _, ok := g.Generate("@id/empty", ""); ok {
+		t.Fatal("empty value treated as a suggestion")
+	}
+}
+
+func TestHeuristicKeywords(t *testing.T) {
+	h := &Heuristic{}
+	cases := []struct {
+		hint string
+		want string
+	}{
+		{"Your email address", "user@example.com"},
+		{"Enter CITY name", "Jinan"},
+		{"user name", "alice"},
+		{"Search for anything", "weather"},
+		{"PIN code", "1234"},
+		{"ZIP", "94103"},
+		{"phone number", "+1-555-0100"},
+	}
+	for _, tc := range cases {
+		got, ok := h.Generate("@id/x", tc.hint)
+		if !ok || got != tc.want {
+			t.Errorf("Generate(%q) = %q, %v; want %q", tc.hint, got, ok, tc.want)
+		}
+	}
+	if _, ok := h.Generate("@id/x", "completely opaque"); ok {
+		t.Error("opaque hint generated a value")
+	}
+	if _, ok := h.Generate("@id/x", ""); ok {
+		t.Error("empty hint generated a value")
+	}
+}
+
+func TestHeuristicSpecificityAndExtra(t *testing.T) {
+	h := &Heuristic{}
+	// "email address" must match email, not address.
+	if v, _ := h.Generate("", "email address"); v != "user@example.com" {
+		t.Errorf("email address -> %q", v)
+	}
+	h2 := &Heuristic{Extra: map[string]string{"promo": "SAVE20"}}
+	if v, ok := h2.Generate("", "Promo code"); !ok || v != "SAVE20" {
+		t.Errorf("extra keyword: %q, %v", v, ok)
+	}
+}
+
+func TestValueForMatchesHeuristic(t *testing.T) {
+	h := &Heuristic{}
+	for _, kw := range Keywords() {
+		want, ok := ValueFor(kw)
+		if !ok {
+			t.Fatalf("ValueFor(%q) unknown", kw)
+		}
+		// A hint consisting only of the keyword must produce that value,
+		// except where a more specific keyword shadows it textually.
+		got, ok := h.Generate("", kw)
+		if !ok {
+			t.Errorf("heuristic has no value for its own keyword %q", kw)
+			continue
+		}
+		if got != want && !strings.Contains(kw, "name") {
+			// "name" is shadowed by nothing; all keywords map directly.
+			t.Errorf("Generate(%q) = %q, ValueFor = %q", kw, got, want)
+		}
+	}
+	if _, ok := ValueFor("nope"); ok {
+		t.Error("unknown keyword resolved")
+	}
+}
+
+func TestDictionaryRotates(t *testing.T) {
+	d := &Dictionary{Words: []string{"a", "b", "c"}}
+	var got []string
+	for i := 0; i < 5; i++ {
+		v, ok := d.Generate("@id/x", "")
+		if !ok {
+			t.Fatal("dictionary refused")
+		}
+		got = append(got, v)
+	}
+	want := "a b c a b"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("rotation = %v", got)
+	}
+	// Independent rotation per widget.
+	if v, _ := d.Generate("@id/y", ""); v != "a" {
+		t.Fatalf("fresh widget starts at %q", v)
+	}
+	empty := &Dictionary{}
+	if _, ok := empty.Generate("@id/x", ""); ok {
+		t.Fatal("empty dictionary generated")
+	}
+}
+
+func TestChain(t *testing.T) {
+	c := Chain{
+		nil,
+		Fixed{"@id/a": "fixed"},
+		&Heuristic{},
+	}
+	if v, _ := c.Generate("@id/a", "email"); v != "fixed" {
+		t.Fatalf("chain order broken: %q", v)
+	}
+	if v, _ := c.Generate("@id/b", "email"); v != "user@example.com" {
+		t.Fatalf("fallthrough broken: %q", v)
+	}
+	if _, ok := c.Generate("@id/b", "opaque"); ok {
+		t.Fatal("chain generated from nothing")
+	}
+}

@@ -1,0 +1,34 @@
+package layout
+
+import "testing"
+
+// FuzzParse: arbitrary XML must never panic, and accepted layouts must
+// round-trip through Encode/Parse with the same widget count.
+func FuzzParse(f *testing.F) {
+	f.Add(`<LinearLayout id="@+id/root"><Button id="@+id/b" onClick="h"/></LinearLayout>`)
+	f.Add(`<DrawerLayout id="@+id/d" visible="false"><fragment id="@+id/f" class="p.F"/></DrawerLayout>`)
+	f.Add(`<a><b><c/></b></a>`)
+	f.Add(`<<<`)
+	f.Add(``)
+	f.Add(`<LinearLayout id="@+id/a"><Button id="@+id/a"/></LinearLayout>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := Parse("fuzz", []byte(src))
+		if err != nil {
+			return
+		}
+		data, err := l.Encode()
+		if err != nil {
+			t.Fatalf("accepted layout fails to encode: %v", err)
+		}
+		back, err := Parse("fuzz", data)
+		if err != nil {
+			t.Fatalf("encoded layout rejected: %v\n%s", err, data)
+		}
+		var n1, n2 int
+		l.Walk(func(*Widget) bool { n1++; return true })
+		back.Walk(func(*Widget) bool { n2++; return true })
+		if n1 != n2 {
+			t.Fatalf("widget count changed: %d vs %d", n1, n2)
+		}
+	})
+}

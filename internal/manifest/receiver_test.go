@@ -1,0 +1,92 @@
+package manifest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func withReceivers(t *testing.T) *Manifest {
+	t.Helper()
+	m, err := NewBuilder("p").Launcher("p.Main").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Application.Receivers = []Receiver{
+		{Name: "p.Boot", Filters: []IntentFilter{{
+			Actions: []Action{{Name: "android.intent.action.BOOT_COMPLETED"}},
+		}}},
+		{Name: "p.Net", Filters: []IntentFilter{
+			{Actions: []Action{{Name: "android.net.conn.CONNECTIVITY_CHANGE"}}},
+			{Actions: []Action{{Name: "android.intent.action.BOOT_COMPLETED"}}},
+		}},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReceiverRoundTrip(t *testing.T) {
+	m := withReceivers(t)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `<receiver name="p.Boot">`) {
+		t.Fatalf("encoded XML missing receiver:\n%s", data)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Application.Receivers) != 2 {
+		t.Fatalf("receivers = %+v", back.Application.Receivers)
+	}
+	if got := back.ReceiversFor("android.intent.action.BOOT_COMPLETED"); !reflect.DeepEqual(got, []string{"p.Boot", "p.Net"}) {
+		t.Fatalf("ReceiversFor = %v", got)
+	}
+}
+
+func TestBroadcastActionsSorted(t *testing.T) {
+	m := withReceivers(t)
+	got := m.BroadcastActions()
+	want := []string{
+		"android.intent.action.BOOT_COMPLETED",
+		"android.net.conn.CONNECTIVITY_CHANGE",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BroadcastActions = %v", got)
+	}
+	if got := m.ReceiversFor("unused.ACTION"); got != nil {
+		t.Fatalf("ReceiversFor(unused) = %v", got)
+	}
+}
+
+func TestReceiverValidation(t *testing.T) {
+	m := withReceivers(t)
+	m.Application.Receivers = append(m.Application.Receivers, Receiver{})
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "empty name") {
+		t.Fatalf("err = %v", err)
+	}
+	m = withReceivers(t)
+	m.Application.Receivers = append(m.Application.Receivers, Receiver{Name: "p.Boot"})
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+	// A receiver colliding with an activity name is rejected too.
+	m = withReceivers(t)
+	m.Application.Receivers = append(m.Application.Receivers, Receiver{Name: "p.Main"})
+	if err := m.Validate(); err == nil {
+		t.Fatal("activity-name collision accepted")
+	}
+}
+
+func TestCloneCopiesReceivers(t *testing.T) {
+	m := withReceivers(t)
+	cp := m.Clone()
+	cp.Application.Receivers[0].Filters[0].Actions[0].Name = "mutated"
+	if m.Application.Receivers[0].Filters[0].Actions[0].Name == "mutated" {
+		t.Fatal("Clone shares receiver filters")
+	}
+}

@@ -1,0 +1,105 @@
+// Package recorder implements the record-and-replay technique the paper's
+// introduction surveys (RERAN-style, §I): it wraps a device, records the UI
+// events a human tester (or any driver) performs as a Robotium script, and
+// replays the recording on other devices. The paper notes R&R "could
+// reproduce the test cases easily, but its cost is quite expensive in the
+// input collection" — this package is the collection side; the explorer is
+// FragDroid's answer to it.
+package recorder
+
+import (
+	"errors"
+
+	"fragdroid/internal/device"
+	"fragdroid/internal/robotium"
+)
+
+// Recorder proxies a device and logs every successful interaction.
+type Recorder struct {
+	dev  *device.Device
+	name string
+	ops  []robotium.Op
+}
+
+// New wraps a device; name labels the resulting script.
+func New(dev *device.Device, name string) *Recorder {
+	return &Recorder{dev: dev, name: name}
+}
+
+// Device exposes the wrapped device for observation (Dump etc.).
+func (r *Recorder) Device() *device.Device { return r.dev }
+
+// record appends op when err is nil.
+func (r *Recorder) record(op robotium.Op, err error) error {
+	if err == nil {
+		r.ops = append(r.ops, op)
+	}
+	return err
+}
+
+// LaunchMain launches and records.
+func (r *Recorder) LaunchMain() error {
+	return r.record(robotium.LaunchMain(), r.dev.LaunchMain())
+}
+
+// ForceStart force-starts and records.
+func (r *Recorder) ForceStart(activity string) error {
+	return r.record(robotium.ForceStart(activity), r.dev.ForceStart(activity))
+}
+
+// Click clicks and records.
+func (r *Recorder) Click(ref string) error {
+	return r.record(robotium.Click(ref), r.dev.Click(ref))
+}
+
+// EnterText types and records.
+func (r *Recorder) EnterText(ref, value string) error {
+	return r.record(robotium.EnterText(ref, value), r.dev.EnterText(ref, value))
+}
+
+// Back presses BACK and records.
+func (r *Recorder) Back() error {
+	return r.record(robotium.Back(), r.dev.Back())
+}
+
+// DismissDialog dismisses and records.
+func (r *Recorder) DismissDialog() error {
+	return r.record(robotium.DismissDialog(), r.dev.DismissDialog())
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.ops) }
+
+// Script finalizes the recording. The script is a copy; recording can
+// continue afterwards.
+func (r *Recorder) Script() robotium.Script {
+	return robotium.Script{Name: r.name, Ops: append([]robotium.Op(nil), r.ops...)}
+}
+
+// ErrEmptyRecording is returned by Replay for recordings with no events.
+var ErrEmptyRecording = errors.New("recorder: empty recording")
+
+// Replay runs a recording on a fresh device, verifying it lands on the same
+// foreground activity the recording ended on.
+func Replay(rec *Recorder, target *device.Device) (robotium.Result, error) {
+	s := rec.Script()
+	if len(s.Ops) == 0 {
+		return robotium.Result{}, ErrEmptyRecording
+	}
+	res := robotium.Run(target, s, robotium.Options{})
+	if res.Err != nil {
+		return res, res.Err
+	}
+	want, err := rec.dev.CurrentActivity()
+	if err != nil {
+		return res, nil // recording ended off-app; nothing to verify
+	}
+	got, err := target.CurrentActivity()
+	if err != nil {
+		return res, err
+	}
+	if got != want {
+		return res, errors.New("recorder: replay diverged: landed on " + got + ", recorded " + want)
+	}
+	return res, nil
+}

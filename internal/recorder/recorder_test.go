@@ -1,0 +1,122 @@
+package recorder
+
+import (
+	"errors"
+	"testing"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/device"
+)
+
+const pkg = "com.demo.app."
+
+func demoApp(t *testing.T) *apk.App {
+	t.Helper()
+	app, err := corpus.BuildApp(corpus.DemoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	app := demoApp(t)
+	rec := New(device.New(app, device.Options{}), "login_session")
+
+	// A human session: launch, go to login, type the password, proceed.
+	steps := []func() error{
+		rec.LaunchMain,
+		func() error { return rec.Click(corpus.NavButtonRef("Main", "Login")) },
+		func() error { return rec.EnterText(corpus.InputRef("Login", "Account"), "alice") },
+		func() error { return rec.Click(corpus.NavButtonRef("Login", "Account")) },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("recorded %d events", rec.Len())
+	}
+	if cur, _ := rec.Device().CurrentActivity(); cur != pkg+"Account" {
+		t.Fatalf("session ended on %q", cur)
+	}
+
+	// Replay on a second device reaches the same screen.
+	res, err := Replay(rec, device.New(app, device.Options{}))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if res.Executed != 4 {
+		t.Fatalf("replay executed %d ops", res.Executed)
+	}
+}
+
+func TestFailedInteractionsAreNotRecorded(t *testing.T) {
+	app := demoApp(t)
+	rec := New(device.New(app, device.Options{}), "s")
+	if err := rec.LaunchMain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Click("@id/absent"); err == nil {
+		t.Fatal("click on absent widget succeeded")
+	}
+	if err := rec.EnterText("@id/main_title", "x"); err == nil {
+		t.Fatal("enter into textview succeeded")
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("failed events recorded: %d", rec.Len())
+	}
+}
+
+func TestReplayEmptyRecording(t *testing.T) {
+	app := demoApp(t)
+	rec := New(device.New(app, device.Options{}), "empty")
+	if _, err := Replay(rec, device.New(app, device.Options{})); !errors.Is(err, ErrEmptyRecording) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScriptIsACopy(t *testing.T) {
+	app := demoApp(t)
+	rec := New(device.New(app, device.Options{}), "s")
+	if err := rec.LaunchMain(); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Script()
+	if err := rec.Click(corpus.NavButtonRef("Main", "Detail")); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ops) != 1 {
+		t.Fatal("Script not snapshotted")
+	}
+	if rec.Len() != 2 {
+		t.Fatal("recording stopped after Script()")
+	}
+}
+
+func TestRecordBackAndDialog(t *testing.T) {
+	app := demoApp(t)
+	rec := New(device.New(app, device.Options{}), "s")
+	if err := rec.LaunchMain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Click(corpus.NavButtonRef("Main", "Login")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the gate to pop the error dialog, dismiss it, back out.
+	if err := rec.Click(corpus.NavButtonRef("Login", "Account")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.DismissDialog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Back(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(rec, device.New(app, device.Options{}))
+	if err != nil {
+		t.Fatalf("Replay: %v (%+v)", err, res)
+	}
+}

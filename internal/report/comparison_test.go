@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComparisonShowsFragmentGap(t *testing.T) {
+	cmp, err := RunComparison(DefaultEvalConfig(), 7, 1200)
+	if err != nil {
+		t.Fatalf("RunComparison: %v", err)
+	}
+	if len(cmp.Rows) != 3 {
+		t.Fatalf("rows = %d", len(cmp.Rows))
+	}
+	byName := make(map[string]ComparisonRow)
+	for _, r := range cmp.Rows {
+		byName[r.System] = r
+	}
+	fd := byName["FragDroid"]
+	act := byName["Activity-level MBT"]
+	mk := byName["Monkey"]
+
+	if fd.FragmentAPIRelations == 0 {
+		t.Fatal("FragDroid observed no fragment relations")
+	}
+	// The paper's core claim: Activity-level tools miss fragment API calls.
+	if act.FragmentAPIRelations >= fd.FragmentAPIRelations {
+		t.Errorf("activity baseline fragment relations %d >= FragDroid %d",
+			act.FragmentAPIRelations, fd.FragmentAPIRelations)
+	}
+	if act.MissedFragmentAPIPct < 9.6 {
+		t.Errorf("activity baseline missed %.1f%% of FragDroid relations, paper claims >=9.6%%",
+			act.MissedFragmentAPIPct)
+	}
+	// Monkey does worse than or similar to the systematic baseline and far
+	// worse than FragDroid on fragment-associated relations.
+	if mk.FragmentAPIRelations > fd.FragmentAPIRelations {
+		t.Errorf("monkey fragment relations %d > FragDroid %d",
+			mk.FragmentAPIRelations, fd.FragmentAPIRelations)
+	}
+	if mk.MissedFragmentAPIPct <= 0 {
+		t.Error("monkey missed nothing, implausible")
+	}
+	// FragDroid's own missed share is zero by construction.
+	if fd.MissedFragmentAPIPct != 0 {
+		t.Errorf("FragDroid missed %.1f%% of its own relations", fd.MissedFragmentAPIPct)
+	}
+
+	out := RenderComparison(cmp)
+	for _, want := range []string{"FragDroid", "Activity-level MBT", "Monkey", "Missed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+// Package report runs the paper's evaluation experiments on the synthetic
+// corpus and renders the resulting tables: Table I (coverage), Table II
+// (sensitive operations), the §VII-A fragment-usage study, and the baseline
+// comparison behind the §VII-C "traditional approaches miss ≥9.6%" claim.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/baseline"
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/explorer"
+	"fragdroid/internal/sensitive"
+	"fragdroid/internal/statics"
+)
+
+// EvalConfig tunes a full paper evaluation run.
+type EvalConfig struct {
+	// Explorer is the FragDroid configuration used per app.
+	Explorer explorer.Config
+	// Parallel runs up to that many apps concurrently (each on its own
+	// simulated device). Zero or one means sequential. Results are
+	// positionally ordered either way, so all derived tables are identical.
+	Parallel int
+}
+
+// DefaultEvalConfig uses the full FragDroid feature set with a generous
+// test-case budget.
+func DefaultEvalConfig() EvalConfig {
+	cfg := explorer.DefaultConfig()
+	cfg.MaxTestCases = 4000
+	return EvalConfig{Explorer: cfg}
+}
+
+// AppResult couples one corpus app with its exploration outcome.
+type AppResult struct {
+	Row    corpus.PaperRow
+	App    *apk.App
+	Result *explorer.Result
+}
+
+// Evaluation is the outcome of running FragDroid over the 15-app corpus.
+type Evaluation struct {
+	Apps []AppResult
+}
+
+// RunEvaluation builds the 15 Table I apps and explores each with FragDroid.
+// With cfg.Parallel > 1 the apps run on a pool of simulated devices; the
+// result order (and hence every derived table) is identical to a sequential
+// run because each app's exploration is self-contained and deterministic.
+func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
+	rows := corpus.PaperRows()
+	results := make([]AppResult, len(rows))
+	errs := make([]error, len(rows))
+
+	runOne := func(i int) {
+		row := rows[i]
+		app, err := corpus.BuildApp(corpus.PaperSpec(row))
+		if err != nil {
+			errs[i] = fmt.Errorf("report: build %s: %w", row.Package, err)
+			return
+		}
+		res, err := explorer.Explore(app, cfg.Explorer)
+		if err != nil {
+			errs[i] = fmt.Errorf("report: explore %s: %w", row.Package, err)
+			return
+		}
+		results[i] = AppResult{Row: row, App: app, Result: res}
+	}
+
+	if cfg.Parallel <= 1 {
+		for i := range rows {
+			runOne(i)
+		}
+	} else {
+		sem := make(chan struct{}, cfg.Parallel)
+		var wg sync.WaitGroup
+		for i := range rows {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Evaluation{Apps: results}, nil
+}
+
+// Table1Row is one measured row of Table I.
+type Table1Row struct {
+	Package   string
+	Downloads string
+	// Measured Visited/Sum triples.
+	VisA, SumA       int
+	VisF, SumF       int
+	VisFiVA, SumFiVA int
+	// Paper holds the published numbers for side-by-side comparison.
+	Paper corpus.PaperRow
+}
+
+func rate(vis, sum int) float64 {
+	if sum == 0 {
+		return 0
+	}
+	return 100 * float64(vis) / float64(sum)
+}
+
+// RateA, RateF and RateFiVA return the measured percentage rates.
+func (r Table1Row) RateA() float64    { return rate(r.VisA, r.SumA) }
+func (r Table1Row) RateF() float64    { return rate(r.VisF, r.SumF) }
+func (r Table1Row) RateFiVA() float64 { return rate(r.VisFiVA, r.SumFiVA) }
+
+// Table1 is the measured coverage table.
+type Table1 struct {
+	Rows []Table1Row
+}
+
+// BuildTable1 derives Table I from an evaluation.
+func (ev *Evaluation) BuildTable1() *Table1 {
+	t := &Table1{}
+	for _, ar := range ev.Apps {
+		fivaVis, fivaSum := ar.Result.FragmentsInVisitedActivities()
+		t.Rows = append(t.Rows, Table1Row{
+			Package:   ar.Row.Package,
+			Downloads: ar.Row.Downloads,
+			VisA:      len(ar.Result.VisitedActivities()),
+			SumA:      len(ar.Result.Extraction.EffectiveActivities),
+			VisF:      len(ar.Result.VisitedFragments()),
+			SumF:      len(ar.Result.Extraction.EffectiveFragments),
+			VisFiVA:   fivaVis,
+			SumFiVA:   fivaSum,
+			Paper:     ar.Row,
+		})
+	}
+	return t
+}
+
+// Averages returns the mean per-app coverage rates — the aggregation the
+// paper reports as "66% for Fragments and 71.94% for Activities".
+func (t *Table1) Averages() (actPct, fragPct, fivaPct float64) {
+	if len(t.Rows) == 0 {
+		return 0, 0, 0
+	}
+	for _, r := range t.Rows {
+		actPct += r.RateA()
+		fragPct += r.RateF()
+		fivaPct += r.RateFiVA()
+	}
+	n := float64(len(t.Rows))
+	return actPct / n, fragPct / n, fivaPct / n
+}
+
+// BuildTable2 derives the sensitive-operations matrix from an evaluation.
+func (ev *Evaluation) BuildTable2() *sensitive.Matrix {
+	var cs []*sensitive.Collector
+	for _, ar := range ev.Apps {
+		cs = append(cs, ar.Result.Collector)
+	}
+	return sensitive.NewMatrix(cs)
+}
+
+// CategoryStat is the per-category breakdown of the study (the paper lists
+// its dataset by Google Play category: Tools 21 apps, Entertainment 21, ...).
+type CategoryStat struct {
+	Category      string
+	Apps          int
+	WithFragments int
+}
+
+// StudyResult is the outcome of the §VII-A fragment-usage study.
+type StudyResult struct {
+	Total         int
+	Packed        int
+	Analyzable    int
+	WithFragments int
+	// ByCategory holds the per-category breakdown, sorted by app count
+	// descending then name.
+	ByCategory []CategoryStat
+}
+
+// FragmentSharePct is the headline "91% of apps use Fragments" number.
+func (s StudyResult) FragmentSharePct() float64 {
+	if s.Analyzable == 0 {
+		return 0
+	}
+	return 100 * float64(s.WithFragments) / float64(s.Analyzable)
+}
+
+// RunStudy performs the 217-app study: build each app archive, attempt
+// decompilation (packed apps fail, as in the paper), and statically scan the
+// class hierarchy for Fragment subclass usage.
+func RunStudy(seed int64) (*StudyResult, error) {
+	specs := corpus.StudySpecs(seed)
+	res := &StudyResult{Total: len(specs)}
+	cats := make(map[string]*CategoryStat)
+	for _, spec := range specs {
+		cat := categoryOf(spec.Package)
+		cs := cats[cat]
+		if cs == nil {
+			cs = &CategoryStat{Category: cat}
+			cats[cat] = cs
+		}
+		arch, err := corpus.BuildArchive(spec)
+		if err != nil {
+			return nil, fmt.Errorf("report: study build %s: %w", spec.Package, err)
+		}
+		app, err := apk.Load(arch)
+		if err == apk.ErrPacked {
+			res.Packed++
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("report: study load %s: %w", spec.Package, err)
+		}
+		res.Analyzable++
+		cs.Apps++
+		if usesFragments(app) {
+			res.WithFragments++
+			cs.WithFragments++
+		}
+	}
+	for _, cs := range cats {
+		if cs.Apps > 0 {
+			res.ByCategory = append(res.ByCategory, *cs)
+		}
+	}
+	sort.Slice(res.ByCategory, func(i, j int) bool {
+		a, b := res.ByCategory[i], res.ByCategory[j]
+		if a.Apps != b.Apps {
+			return a.Apps > b.Apps
+		}
+		return a.Category < b.Category
+	})
+	return res, nil
+}
+
+// categoryOf extracts the study category from a generated package name
+// ("com.<category>.appNNN").
+func categoryOf(pkg string) string {
+	parts := strings.Split(pkg, ".")
+	if len(parts) >= 3 {
+		return parts[1]
+	}
+	return "unknown"
+}
+
+// usesFragments is the study's scanner: does the decompiled code contain any
+// Fragment subclass?
+func usesFragments(app *apk.App) bool {
+	return len(app.Program.FragmentClasses()) > 0
+}
+
+// ComparisonRow reports one system's aggregate behaviour over the corpus.
+type ComparisonRow struct {
+	System string
+	// ActivityPct is the mean activity coverage rate.
+	ActivityPct float64
+	// FragmentPct is the mean fragment coverage rate (0 for tools that
+	// cannot credit fragments).
+	FragmentPct float64
+	// APIs is the number of distinct sensitive APIs observed.
+	APIs int
+	// FragmentAPIRelations counts fragment-associated invocation relations.
+	FragmentAPIRelations int
+	// MissedFragmentAPIPct is the share of FragDroid's total invocation
+	// relations this system did not observe.
+	MissedFragmentAPIPct float64
+	// TestCases is the total work spent.
+	TestCases int
+}
+
+// Comparison is the FragDroid vs Activity-level vs Monkey experiment.
+type Comparison struct {
+	Rows []ComparisonRow
+	// FragDroidStats are the reference aggregates.
+	FragDroidStats sensitive.Stats
+}
+
+// RunComparison runs all three systems over the corpus and aggregates.
+func RunComparison(cfg EvalConfig, monkeySeed int64, monkeyEvents int) (*Comparison, error) {
+	ev, err := RunEvaluation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t1 := ev.BuildTable1()
+	fragStats := ev.BuildTable2().ComputeStats()
+
+	fdRelations := relationSet(ev.collectors())
+	actA, actF, _ := t1.Averages()
+
+	cmp := &Comparison{FragDroidStats: fragStats}
+	var fdCases int
+	for _, ar := range ev.Apps {
+		fdCases += ar.Result.TestCases
+	}
+	cmp.Rows = append(cmp.Rows, ComparisonRow{
+		System:               "FragDroid",
+		ActivityPct:          actA,
+		FragmentPct:          actF,
+		APIs:                 fragStats.DistinctAPIs,
+		FragmentAPIRelations: fragStats.FragmentRelations,
+		TestCases:            fdCases,
+	})
+
+	for _, sys := range []string{"Activity-level MBT", "Monkey"} {
+		row, err := runBaselineSystem(sys, ev, cfg, monkeySeed, monkeyEvents, fdRelations)
+		if err != nil {
+			return nil, err
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	return cmp, nil
+}
+
+func (ev *Evaluation) collectors() []*sensitive.Collector {
+	var cs []*sensitive.Collector
+	for _, ar := range ev.Apps {
+		cs = append(cs, ar.Result.Collector)
+	}
+	return cs
+}
+
+// relationSet flattens collectors into (app, api, kind) relation keys.
+func relationSet(cs []*sensitive.Collector) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range cs {
+		for _, u := range c.Usages() {
+			if u.ByActivity {
+				out[c.App()+"|"+u.API+"|A"] = true
+			}
+			if u.ByFragment {
+				out[c.App()+"|"+u.API+"|F"] = true
+			}
+		}
+	}
+	return out
+}
+
+func runBaselineSystem(sys string, ev *Evaluation, cfg EvalConfig, seed int64, events int, fdRelations map[string]bool) (ComparisonRow, error) {
+	var collectors []*sensitive.Collector
+	var actPctSum float64
+	var cases int
+	for _, ar := range ev.Apps {
+		var (
+			res *baseline.Result
+			err error
+		)
+		switch sys {
+		case "Activity-level MBT":
+			bcfg := baseline.DefaultActivityConfig()
+			bcfg.Inputs = cfg.Explorer.Inputs
+			bcfg.MaxTestCases = cfg.Explorer.MaxTestCases
+			res, err = baseline.ExploreActivities(ar.App, bcfg)
+		case "Monkey":
+			res, err = baseline.Monkey(ar.App, baseline.MonkeyConfig{Seed: seed, Events: events})
+		default:
+			return ComparisonRow{}, fmt.Errorf("report: unknown system %q", sys)
+		}
+		if err != nil {
+			return ComparisonRow{}, fmt.Errorf("report: %s on %s: %w", sys, ar.Row.Package, err)
+		}
+		collectors = append(collectors, res.Collector)
+		effective := countEffective(ar.Result.Extraction, res.VisitedActivities)
+		actPctSum += rate(effective, len(ar.Result.Extraction.EffectiveActivities))
+		cases += res.TestCases
+	}
+	m := sensitive.NewMatrix(collectors)
+	st := m.ComputeStats()
+	missed := missedPct(fdRelations, relationSet(collectors))
+	return ComparisonRow{
+		System:               sys,
+		ActivityPct:          actPctSum / float64(len(ev.Apps)),
+		FragmentPct:          0, // activity-level tools cannot credit fragments
+		APIs:                 st.DistinctAPIs,
+		FragmentAPIRelations: st.FragmentRelations,
+		MissedFragmentAPIPct: missed,
+		TestCases:            cases,
+	}, nil
+}
+
+// countEffective counts visited activities that are in the effective set
+// (baselines may force-start isolated activities; those don't count).
+func countEffective(ex *statics.Extraction, visited []string) int {
+	eff := make(map[string]bool, len(ex.EffectiveActivities))
+	for _, a := range ex.EffectiveActivities {
+		eff[a] = true
+	}
+	n := 0
+	for _, a := range visited {
+		if eff[a] {
+			n++
+		}
+	}
+	return n
+}
+
+// missedPct is the share of FragDroid's invocation relations the other
+// system failed to observe.
+func missedPct(fragdroid, other map[string]bool) float64 {
+	if len(fragdroid) == 0 {
+		return 0
+	}
+	missed := 0
+	for rel := range fragdroid {
+		if !other[rel] {
+			missed++
+		}
+	}
+	return 100 * float64(missed) / float64(len(fragdroid))
+}

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticDynamicGap(t *testing.T) {
+	ev := evaluation(t)
+	rows := ev.StaticDynamicGap()
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var st, cf int
+	for _, r := range rows {
+		if r.ConfirmedSites > r.StaticSites {
+			t.Errorf("%s: confirmed %d > static %d", r.Package, r.ConfirmedSites, r.StaticSites)
+		}
+		if r.StaticSites == 0 {
+			t.Errorf("%s: no static sites at all", r.Package)
+		}
+		st += r.StaticSites
+		cf += r.ConfirmedSites
+	}
+	// The corpus places some APIs in unreachable components, so the gap is
+	// real: strictly fewer confirmed sites than static claims.
+	if cf >= st {
+		t.Errorf("no static-dynamic gap: %d confirmed of %d", cf, st)
+	}
+	// But dynamic testing confirms the clear majority.
+	if float64(cf) < 0.6*float64(st) {
+		t.Errorf("implausibly low confirmation: %d of %d", cf, st)
+	}
+	out := RenderGap(rows)
+	for _, want := range []string{"Static vs dynamic", "TOTAL", "com.inditex.zara"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelEvaluationMatchesSequential checks that running the corpus on
+// a pool of simulated devices yields byte-identical tables: every per-app
+// exploration is deterministic and self-contained.
+func TestParallelEvaluationMatchesSequential(t *testing.T) {
+	seq := evaluation(t) // cached sequential run
+
+	cfg := DefaultEvalConfig()
+	cfg.Parallel = 4
+	par, err := RunEvaluation(cfg)
+	if err != nil {
+		t.Fatalf("parallel RunEvaluation: %v", err)
+	}
+
+	st1 := seq.BuildTable1()
+	st2 := par.BuildTable1()
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatal("parallel Table I differs from sequential")
+	}
+	m1 := seq.BuildTable2()
+	m2 := par.BuildTable2()
+	if !reflect.DeepEqual(m1.Apps, m2.Apps) || !reflect.DeepEqual(m1.APIs, m2.APIs) {
+		t.Fatal("parallel Table II axes differ")
+	}
+	for _, api := range m1.APIs {
+		for _, app := range m1.Apps {
+			if m1.Cell(api, app) != m2.Cell(api, app) {
+				t.Fatalf("cell (%s, %s) differs", api, app)
+			}
+		}
+	}
+	if m1.ComputeStats() != m2.ComputeStats() {
+		t.Fatal("parallel stats differ")
+	}
+}

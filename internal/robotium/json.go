@@ -1,0 +1,106 @@
+package robotium
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonScript is the serialized form of a Script; ops use readable kind names
+// so stored test cases diff well.
+type jsonScript struct {
+	Name string   `json:"name,omitempty"`
+	Ops  []jsonOp `json:"ops"`
+}
+
+type jsonOp struct {
+	Kind      string `json:"kind"`
+	Ref       string `json:"ref,omitempty"`
+	Value     string `json:"value,omitempty"`
+	Activity  string `json:"activity,omitempty"`
+	Fragment  string `json:"fragment,omitempty"`
+	Container string `json:"container,omitempty"`
+}
+
+var kindNames = map[OpKind]string{
+	OpLaunchMain:    "launch-main",
+	OpForceStart:    "force-start",
+	OpClick:         "click",
+	OpEnterText:     "enter-text",
+	OpDismissDialog: "dismiss-dialog",
+	OpBack:          "back",
+	OpReflect:       "reflect",
+}
+
+var kindsByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// MarshalJSON serializes the script.
+func (s Script) MarshalJSON() ([]byte, error) {
+	js := jsonScript{Name: s.Name}
+	for _, op := range s.Ops {
+		name, ok := kindNames[op.Kind]
+		if !ok {
+			return nil, fmt.Errorf("robotium: cannot serialize op kind %d", int(op.Kind))
+		}
+		js.Ops = append(js.Ops, jsonOp{
+			Kind:      name,
+			Ref:       op.Ref,
+			Value:     op.Value,
+			Activity:  op.Activity,
+			Fragment:  op.Fragment,
+			Container: op.Container,
+		})
+	}
+	return json.Marshal(js)
+}
+
+// ParseScript deserializes a script and validates per-op required fields.
+func ParseScript(data []byte) (Script, error) {
+	var js jsonScript
+	if err := json.Unmarshal(data, &js); err != nil {
+		return Script{}, fmt.Errorf("robotium: parse script: %w", err)
+	}
+	s := Script{Name: js.Name}
+	for i, jo := range js.Ops {
+		kind, ok := kindsByName[jo.Kind]
+		if !ok {
+			return Script{}, fmt.Errorf("robotium: op %d: unknown kind %q", i, jo.Kind)
+		}
+		op := Op{
+			Kind:      kind,
+			Ref:       jo.Ref,
+			Value:     jo.Value,
+			Activity:  jo.Activity,
+			Fragment:  jo.Fragment,
+			Container: jo.Container,
+		}
+		if err := validateOp(op); err != nil {
+			return Script{}, fmt.Errorf("robotium: op %d: %w", i, err)
+		}
+		s.Ops = append(s.Ops, op)
+	}
+	return s, nil
+}
+
+func validateOp(op Op) error {
+	switch op.Kind {
+	case OpClick, OpEnterText:
+		if op.Ref == "" {
+			return fmt.Errorf("%s needs a ref", kindNames[op.Kind])
+		}
+	case OpForceStart:
+		if op.Activity == "" {
+			return fmt.Errorf("force-start needs an activity")
+		}
+	case OpReflect:
+		if op.Fragment == "" || op.Container == "" {
+			return fmt.Errorf("reflect needs fragment and container")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package robotium
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestScriptJSONRoundTrip(t *testing.T) {
+	s := Script{Name: "login", Ops: []Op{
+		LaunchMain(),
+		EnterText("@id/user", "alice"),
+		Click("@id/go"),
+		DismissDialog(),
+		Back(),
+		Reflect("p.F", "@id/c"),
+		ForceStart("p.Hidden"),
+	}}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := ParseScript(data)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if back.Name != s.Name || !reflect.DeepEqual(back.Ops, s.Ops) {
+		t.Fatalf("round trip:\n%+v\n%+v", back, s)
+	}
+	// Readable kind names in the wire form.
+	for _, want := range []string{`"launch-main"`, `"enter-text"`, `"reflect"`, `"force-start"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "{"},
+		{"unknown kind", `{"ops":[{"kind":"fly"}]}`},
+		{"click without ref", `{"ops":[{"kind":"click"}]}`},
+		{"enter without ref", `{"ops":[{"kind":"enter-text","value":"x"}]}`},
+		{"force-start without activity", `{"ops":[{"kind":"force-start"}]}`},
+		{"reflect without container", `{"ops":[{"kind":"reflect","fragment":"p.F"}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseScript([]byte(tc.data)); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestMarshalUnknownKindFails(t *testing.T) {
+	s := Script{Ops: []Op{{Kind: OpKind(99)}}}
+	if _, err := json.Marshal(s); err == nil {
+		t.Fatal("unknown kind marshalled")
+	}
+}

@@ -1,0 +1,154 @@
+package robotium
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/device"
+)
+
+const pkg = "com.demo.app."
+
+func demoDevice(t *testing.T) *device.Device {
+	t.Helper()
+	app, err := corpus.BuildApp(corpus.DemoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return device.New(app, device.Options{})
+}
+
+func TestRunHappyPath(t *testing.T) {
+	d := demoDevice(t)
+	s := Script{Name: "login_flow", Ops: []Op{
+		LaunchMain(),
+		Click(corpus.NavButtonRef("Main", "Login")),
+		EnterText(corpus.InputRef("Login", "Account"), "alice"),
+		Click(corpus.NavButtonRef("Login", "Account")),
+	}}
+	res := Run(d, s, Options{})
+	if res.Err != nil || res.Executed != 4 || res.Crashed {
+		t.Fatalf("result = %+v", res)
+	}
+	if cur, _ := d.CurrentActivity(); cur != pkg+"Account" {
+		t.Fatalf("current = %q", cur)
+	}
+}
+
+func TestRunStopsOnError(t *testing.T) {
+	d := demoDevice(t)
+	s := Script{Ops: []Op{
+		LaunchMain(),
+		Click("@id/absent_widget"),
+		Click(corpus.NavButtonRef("Main", "Login")),
+	}}
+	res := Run(d, s, Options{})
+	if res.Err == nil || res.Executed != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.FailedOp.Ref != "@id/absent_widget" {
+		t.Fatalf("FailedOp = %+v", res.FailedOp)
+	}
+}
+
+func TestRunReportsCrash(t *testing.T) {
+	d := demoDevice(t)
+	s := Script{Ops: []Op{ForceStart(pkg + "Account")}}
+	res := Run(d, s, Options{})
+	if !res.Crashed || res.Err == nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if !errors.Is(res.Err, device.ErrCrashed) {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if !strings.Contains(res.CrashReason, "token") {
+		t.Fatalf("reason = %q", res.CrashReason)
+	}
+}
+
+func TestAutoDismiss(t *testing.T) {
+	d := demoDevice(t)
+	s := Script{Ops: []Op{
+		LaunchMain(),
+		Click(corpus.NavButtonRef("Main", "Login")),
+		Click(corpus.NavButtonRef("Login", "Account")), // fails the gate, opens dialog
+		EnterText(corpus.InputRef("Login", "Account"), "alice"),
+		Click(corpus.NavButtonRef("Login", "Account")),
+	}}
+	res := Run(d, s, Options{AutoDismiss: true})
+	if res.Err != nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if cur, _ := d.CurrentActivity(); cur != pkg+"Account" {
+		t.Fatalf("current = %q (auto-dismiss did not recover)", cur)
+	}
+	// Without AutoDismiss the same script stalls on Login because the clicks
+	// land on the dialog.
+	d2 := demoDevice(t)
+	res2 := Run(d2, s, Options{})
+	if res2.Err != nil {
+		t.Fatalf("result2 = %+v", res2)
+	}
+	if cur, _ := d2.CurrentActivity(); cur != pkg+"Login" {
+		t.Fatalf("without auto-dismiss ended on %q", cur)
+	}
+}
+
+func TestReflectOp(t *testing.T) {
+	d := demoDevice(t)
+	s := Script{Ops: []Op{
+		LaunchMain(),
+		Reflect(pkg+"Recent", corpus.ContainerRef("Main")),
+	}}
+	res := Run(d, s, Options{})
+	if res.Err != nil {
+		t.Fatalf("result = %+v", res)
+	}
+	dump, _ := d.Dump()
+	if len(dump.FMFragments) != 1 || dump.FMFragments[0] != pkg+"Recent" {
+		t.Fatalf("FMFragments = %v", dump.FMFragments)
+	}
+}
+
+func TestAppendPreservesOriginal(t *testing.T) {
+	base := Script{Name: "base", Ops: []Op{LaunchMain()}}
+	ext := base.Append("ext", Click("@id/x"), Back())
+	if len(base.Ops) != 1 {
+		t.Fatal("Append mutated the base script")
+	}
+	if len(ext.Ops) != 3 || ext.Name != "ext" {
+		t.Fatalf("ext = %+v", ext)
+	}
+}
+
+func TestOpStringAndRenderJava(t *testing.T) {
+	s := Script{Name: "reach Detail!", Ops: []Op{
+		LaunchMain(),
+		EnterText("@id/login_input_account", "alice"),
+		Click("@id/main_btn_detail"),
+		DismissDialog(),
+		Back(),
+		Reflect(pkg+"Recent", "@id/main_container"),
+		ForceStart(pkg + "Secret"),
+	}}
+	for _, op := range s.Ops {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %+v has no string form", op)
+		}
+	}
+	src := RenderJava(s)
+	for _, want := range []string{
+		"public class reach_Detail_ extends ActivityInstrumentationTestCase2",
+		"solo.clickOnView(solo.getView(R.id.main_btn_detail));",
+		`solo.enterText((EditText) solo.getView(R.id.login_input_account), "alice");`,
+		"solo.goBack();",
+		"ReflectionSwitcher.commit",
+		"am start -n com.demo.app.Secret",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("RenderJava missing %q:\n%s", want, src)
+		}
+	}
+}

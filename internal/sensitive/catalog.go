@@ -1,0 +1,133 @@
+// Package sensitive implements FragDroid's sensitive-API analysis (§VII-C):
+// the XPrivacy-derived catalog of monitored functions, a runtime collector
+// that attributes invocations to Activities and/or Fragments, and the
+// cross-application matrix plus aggregate statistics behind Table II.
+package sensitive
+
+import (
+	"sort"
+	"strings"
+)
+
+// Catalog lists the monitored sensitive APIs, keyed "category/name" exactly
+// as Table II prints them. The set follows the common sensitive operation
+// functions defined by XPrivacy that the paper selected.
+var Catalog = []string{
+	"browser/Downloads",
+
+	"identification//proc",
+	"identification/getString",
+	"identification/SERIAL",
+
+	"internet/connect",
+	"internet/Connectivity.getActiveNetworkInfo",
+	"internet/Connectivity.getNetworkInfo",
+	"internet/inet",
+	"internet/InetAddress.getAllByName",
+	"internet/InetAddress.getByAddress",
+	"internet/InetAddress.getByName",
+	"internet/IpPrefix.getAddress",
+	"internet/LinkProperties.getLinkAddresses",
+	"internet/NetworkInfo.getDetailedState",
+	"internet/NetworkInfo.isConnected",
+	"internet/NetworkInfo.isConnectedOrConnecting",
+	"internet/NetworkInterface.getNetworkInterfaces",
+	"internet/WiFi.getConnectionInfo",
+
+	"ipc/Binder",
+
+	"location/getAllProviders",
+	"location/getProviders",
+	"location/isProviderEnabled",
+	"location/requestLocationUpdates",
+
+	"media/Camera.setPreviewTexture",
+	"media/Camera.startPreview",
+
+	"messages/MmsProvider",
+
+	"network/NetworkInterface.getInetAddresses",
+	"network/WiFi.getConfiguredNetworks",
+	"network/WiFi.getConnectionInfo",
+
+	"phone/Configuration.MCC",
+	"phone/Configuration.MNC",
+	"phone/getDeviceId",
+	"phone/getNetworkCountryIso",
+	"phone/getNetworkOperatorName",
+
+	"shell/loadLibrary",
+
+	"storage/getExternalStorageState",
+	"storage/open",
+	"storage/sdcard",
+
+	"system/getInstalledApplications",
+	"system/getRunningAppProcesses",
+	"system/queryIntentActivities",
+	"system/queryIntentServices",
+
+	"view/getUserAgentString",
+	"view/initUserAgentString",
+	"view/loadUrl",
+	"view/setUserAgentString",
+}
+
+var catalogSet = func() map[string]bool {
+	m := make(map[string]bool, len(Catalog))
+	for _, api := range Catalog {
+		m[api] = true
+	}
+	return m
+}()
+
+// Known reports whether the API belongs to the monitored catalog.
+func Known(api string) bool { return catalogSet[api] }
+
+// Category extracts the category prefix of an API ("location/getProviders" →
+// "location"). APIs without a slash fall into "other".
+func Category(api string) string {
+	if i := strings.IndexByte(api, '/'); i > 0 {
+		return api[:i]
+	}
+	return "other"
+}
+
+// Categories returns the distinct catalog categories in Table II order
+// (first appearance).
+func Categories() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, api := range Catalog {
+		c := Category(api)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SortAPIs orders APIs by category (catalog order) then name, the row order
+// of Table II.
+func SortAPIs(apis []string) {
+	catRank := make(map[string]int)
+	for i, c := range Categories() {
+		catRank[c] = i
+	}
+	sort.Slice(apis, func(i, j int) bool {
+		ci, cj := Category(apis[i]), Category(apis[j])
+		ri, okI := catRank[ci]
+		rj, okJ := catRank[cj]
+		if !okI {
+			ri = len(catRank)
+		}
+		if !okJ {
+			rj = len(catRank)
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return apis[i] < apis[j]
+	})
+}

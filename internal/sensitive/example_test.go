@@ -1,0 +1,35 @@
+package sensitive_test
+
+import (
+	"fmt"
+
+	"fragdroid/internal/sensitive"
+)
+
+// A collector aggregates runtime observations into Table II cells: an API
+// seen from both an Activity and a Fragment renders as ⊙.
+func ExampleCollector() {
+	c := sensitive.NewCollector("com.app")
+	c.Observe(sensitive.Event{API: "location/getProviders", Class: "com.app.Main"})
+	c.Observe(sensitive.Event{API: "location/getProviders", Class: "com.app.MapFragment", InFragment: true})
+	c.Observe(sensitive.Event{API: "storage/sdcard", Class: "com.app.GalleryFragment", InFragment: true})
+	for _, u := range c.Usages() {
+		fmt.Printf("[%s] %s\n", u.Mark().ASCII(), u.API)
+	}
+	// Output:
+	// [B] location/getProviders
+	// [F] storage/sdcard
+}
+
+// AuditPermissions flags observed APIs whose guarding permission the
+// manifest never declared.
+func ExampleAuditPermissions() {
+	c := sensitive.NewCollector("com.app")
+	c.Observe(sensitive.Event{API: "media/Camera.startPreview", Class: "com.app.CamFragment", InFragment: true})
+	findings := sensitive.AuditPermissions([]string{"android.permission.INTERNET"}, c.Usages())
+	for _, f := range findings {
+		fmt.Println(f.API, "missing", f.Missing)
+	}
+	// Output:
+	// media/Camera.startPreview missing [android.permission.CAMERA]
+}

@@ -1,0 +1,47 @@
+package smali_test
+
+import (
+	"fmt"
+	"log"
+
+	"fragdroid/internal/smali"
+)
+
+// ParseClass turns one .smali source file into a class model.
+func ExampleParseClass() {
+	src := `
+.class public Lcom/app/HomeFragment;
+.super Landroid/app/Fragment;
+.method public onCreateView()V
+    set-content-view @layout/fragment_home
+    invoke-sensitive "internet/connect"
+.end method
+`
+	c, err := smali.ParseClass("HomeFragment.smali", []byte(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Name, "extends", c.Super)
+	fmt.Println("methods:", len(c.Methods), "instructions:", len(c.Methods[0].Body))
+	// Output:
+	// com.app.HomeFragment extends android.app.Fragment
+	// methods: 1 instructions: 2
+}
+
+// SuperChain resolves inheritance transitively — the getSuperChain of the
+// paper's Algorithm 2.
+func ExampleProgram_SuperChain() {
+	files := map[string][]byte{
+		"base.smali":  []byte(".class Lapp/Base;\n.super Landroid/app/Fragment;\n"),
+		"child.smali": []byte(".class Lapp/Child;\n.super Lapp/Base;\n"),
+	}
+	p, err := smali.ParseProgram(files)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.SuperChain("app.Child"))
+	fmt.Println("fragment?", p.IsFragmentClass("app.Child"))
+	// Output:
+	// [app.Base android.app.Fragment]
+	// fragment? true
+}

@@ -1,0 +1,28 @@
+package smali
+
+import "testing"
+
+// FuzzParseClass: the parser must never panic and, whenever it accepts an
+// input, the writer must produce source the parser accepts again.
+func FuzzParseClass(f *testing.F) {
+	f.Add(".class Lp/A;\n.super Landroid/app/Activity;\n")
+	f.Add(".class public Lcom/x/Main;\n.super Landroid/app/Activity;\n.method onCreate()V\n    set-content-view @layout/main\n.end method\n")
+	f.Add(".class Lp/F;\n.super Landroid/app/Fragment;\n.requires-args\n.field private x:I\n")
+	f.Add(".method broken()V\n")
+	f.Add("garbage\x00bytes")
+	f.Add(`.class Lp/A;` + "\n" + `.super Lp/B;` + "\n" + `.method m()V` + "\n" + `log "\t\n\\"` + "\n" + `.end method` + "\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseClass("fuzz.smali", []byte(src))
+		if err != nil {
+			return
+		}
+		out := WriteClass(c)
+		c2, err := ParseClass("fuzz2.smali", out)
+		if err != nil {
+			t.Fatalf("writer output rejected: %v\ninput: %q\noutput:\n%s", err, src, out)
+		}
+		if c2.Name != c.Name || c2.Super != c.Super || len(c2.Methods) != len(c.Methods) {
+			t.Fatalf("round trip changed structure: %+v vs %+v", c2, c)
+		}
+	})
+}

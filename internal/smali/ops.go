@@ -1,0 +1,194 @@
+// Package smali implements the smali-like class language of the synthetic
+// application package. Apktool in the paper's pipeline turns DEX bytecode
+// into .smali files; our packages carry code in this dialect directly. The
+// package provides a lexer/parser, a program-wide class model with
+// inheritance resolution (the getSuperChain of Algorithm 2), and a writer
+// used by the corpus generators.
+//
+// A class file looks like:
+//
+//	.class public Lcom/example/MainActivity;
+//	.super Landroid/app/Activity;
+//	.implements Lcom/example/HomeFragment$Host;
+//
+//	.field private mUser:Ljava/lang/String;
+//
+//	.method public onCreate()V
+//	    set-content-view @layout/activity_main
+//	    set-click-listener @id/btn_next onNext
+//	    get-fragment-manager
+//	    begin-transaction
+//	    txn-add @id/container Lcom/example/HomeFragment;
+//	    txn-commit
+//	.end method
+//
+// Instructions are one per line: an opcode followed by whitespace-separated
+// operands (type descriptors in Dalvik "Lpkg/Cls;" form, resource references
+// in "@kind/name" form, and double-quoted strings).
+package smali
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op string
+
+// The instruction set. It covers exactly the behaviours FragDroid's paper
+// reasons about: activity starts (explicit and action-based), fragment
+// transactions, direct fragment loading without a FragmentManager, widget
+// listener registration, input/extras guards, dialogs and popups, drawer
+// toggling, and sensitive API invocation.
+const (
+	// UI wiring.
+	OpSetContentView   Op = "set-content-view"   // @layout/name
+	OpSetClickListener Op = "set-click-listener" // @id/x methodName
+	OpToggleVisible    Op = "toggle-visible"     // @id/x
+	OpSetText          Op = "set-text"           // @id/x "value"
+
+	// Activity transitions (Algorithm 1 patterns).
+	OpNewIntent       Op = "new-intent"        // Lsrc; Ldst;       == new Intent(A0.class, A1.class)
+	OpSetClass        Op = "set-class"         // Lsrc; Ldst;       == intent.setClass(A0, A1)
+	OpNewIntentAction Op = "new-intent-action" // "action"          == new Intent(String action)
+	OpSetAction       Op = "set-action"        // "action"          == intent.setAction(action)
+	OpPutExtra        Op = "put-extra"         // "key" "value"
+	OpStartActivity   Op = "start-activity"    //                   == startActivity(intent)
+	OpSendBroadcast   Op = "send-broadcast"    // "action"          == sendBroadcast(new Intent(action))
+	OpFinish          Op = "finish"
+
+	// Fragment machinery.
+	OpGetFragmentManager        Op = "get-fragment-manager"
+	OpGetSupportFragmentManager Op = "get-support-fragment-manager"
+	OpBeginTransaction          Op = "begin-transaction"
+	OpTxnAdd                    Op = "txn-add"     // @id/container Lfrag;
+	OpTxnReplace                Op = "txn-replace" // @id/container Lfrag;
+	OpTxnRemove                 Op = "txn-remove"  // Lfrag;
+	OpTxnCommit                 Op = "txn-commit"
+	OpInflateView               Op = "inflate-view" // @id/container Lfrag;  direct load, NO FragmentManager
+
+	// Generic object patterns Algorithm 1 scans for.
+	OpNewInstance Op = "new-instance" // Lclass;           == new F1()
+	OpInvokeNewIn Op = "invoke-newinstance"
+	// OpInvokeNewIn: Lclass;                               == F1.newInstance()
+	OpInstanceOf Op = "instance-of" // Lclass;              == instanceof(F1)
+
+	// Behaviour that perturbs dynamic testing.
+	OpShowDialog   Op = "show-dialog"   // "text"   modal dialog, dismissed by blank click
+	OpShowPopup    Op = "show-popup"    // "text"   action-bar popup menu
+	OpRequireInput Op = "require-input" // @id/field "expected"  abort method unless matched
+	OpRequireExtra Op = "require-extra" // "key"    FC unless the launching intent has it
+	OpCrash        Op = "crash"         // "reason" unconditional force close
+
+	// Monitoring.
+	OpInvokeSensitive Op = "invoke-sensitive" // "category/api"
+	OpLoadLibrary     Op = "load-library"     // "name"   counts as shell/loadLibrary
+	OpLog             Op = "log"              // "msg"
+	OpNop             Op = "nop"
+)
+
+// opSpec describes the operand contract of an opcode.
+type opSpec struct {
+	argc  int
+	kinds []argKind // parallel to operands
+}
+
+type argKind int
+
+const (
+	argType  argKind = iota + 1 // Dalvik type descriptor (Lx/Y;)
+	argRes                      // resource reference (@kind/name)
+	argStr                      // quoted string (unquoted by the lexer)
+	argIdent                    // bare identifier (method name)
+)
+
+var opSpecs = map[Op]opSpec{
+	OpSetContentView:   {1, []argKind{argRes}},
+	OpSetClickListener: {2, []argKind{argRes, argIdent}},
+	OpToggleVisible:    {1, []argKind{argRes}},
+	OpSetText:          {2, []argKind{argRes, argStr}},
+
+	OpNewIntent:       {2, []argKind{argType, argType}},
+	OpSetClass:        {2, []argKind{argType, argType}},
+	OpNewIntentAction: {1, []argKind{argStr}},
+	OpSetAction:       {1, []argKind{argStr}},
+	OpPutExtra:        {2, []argKind{argStr, argStr}},
+	OpStartActivity:   {0, nil},
+	OpSendBroadcast:   {1, []argKind{argStr}},
+	OpFinish:          {0, nil},
+
+	OpGetFragmentManager:        {0, nil},
+	OpGetSupportFragmentManager: {0, nil},
+	OpBeginTransaction:          {0, nil},
+	OpTxnAdd:                    {2, []argKind{argRes, argType}},
+	OpTxnReplace:                {2, []argKind{argRes, argType}},
+	OpTxnRemove:                 {1, []argKind{argType}},
+	OpTxnCommit:                 {0, nil},
+	OpInflateView:               {2, []argKind{argRes, argType}},
+
+	OpNewInstance: {1, []argKind{argType}},
+	OpInvokeNewIn: {1, []argKind{argType}},
+	OpInstanceOf:  {1, []argKind{argType}},
+
+	OpShowDialog:   {1, []argKind{argStr}},
+	OpShowPopup:    {1, []argKind{argStr}},
+	OpRequireInput: {2, []argKind{argRes, argStr}},
+	OpRequireExtra: {1, []argKind{argStr}},
+	OpCrash:        {1, []argKind{argStr}},
+
+	OpInvokeSensitive: {1, []argKind{argStr}},
+	OpLoadLibrary:     {1, []argKind{argStr}},
+	OpLog:             {1, []argKind{argStr}},
+	OpNop:             {0, nil},
+}
+
+// KnownOp reports whether op is part of the instruction set.
+func KnownOp(op Op) bool {
+	_, ok := opSpecs[op]
+	return ok
+}
+
+// validate checks operand count and shapes for an instruction.
+func (i Instr) validate() error {
+	spec, ok := opSpecs[i.Op]
+	if !ok {
+		return fmt.Errorf("line %d: unknown opcode %q", i.Line, i.Op)
+	}
+	if len(i.Args) != spec.argc {
+		return fmt.Errorf("line %d: %s wants %d operands, got %d", i.Line, i.Op, spec.argc, len(i.Args))
+	}
+	for n, k := range spec.kinds {
+		a := i.Args[n]
+		switch k {
+		case argType:
+			if !isDottedClass(a) {
+				return fmt.Errorf("line %d: %s operand %d: %q is not a class", i.Line, i.Op, n+1, a)
+			}
+		case argRes:
+			if len(a) == 0 || a[0] != '@' {
+				return fmt.Errorf("line %d: %s operand %d: %q is not a resource reference", i.Line, i.Op, n+1, a)
+			}
+		case argIdent:
+			if a == "" {
+				return fmt.Errorf("line %d: %s operand %d: empty identifier", i.Line, i.Op, n+1)
+			}
+		case argStr:
+			// any string, including empty
+		}
+	}
+	return nil
+}
+
+// isDottedClass loosely checks a parsed (dotted) class name.
+func isDottedClass(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '$':
+		default:
+			return false
+		}
+	}
+	return true
+}

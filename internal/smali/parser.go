@@ -1,0 +1,340 @@
+package smali
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ParseClass parses a single .smali file into a Class. sourceFile is recorded
+// for diagnostics and metadata output.
+func ParseClass(sourceFile string, data []byte) (*Class, error) {
+	c := &Class{SourceFile: sourceFile}
+	var cur *Method
+
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		line := ln + 1
+		toks, err := tokenize(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		head := toks[0]
+		switch {
+		case head == ".class":
+			if c.Name != "" {
+				return nil, fmt.Errorf("%s:%d: duplicate .class directive", sourceFile, line)
+			}
+			if len(toks) < 2 {
+				return nil, fmt.Errorf("%s:%d: .class needs a type descriptor", sourceFile, line)
+			}
+			name, err := FromDescriptor(toks[len(toks)-1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
+			}
+			c.Name = name
+			c.Access, err = identList(toks[1 : len(toks)-1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
+			}
+
+		case head == ".super":
+			if len(toks) != 2 {
+				return nil, fmt.Errorf("%s:%d: .super needs exactly one descriptor", sourceFile, line)
+			}
+			sup, err := FromDescriptor(toks[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
+			}
+			c.Super = sup
+
+		case head == ".implements":
+			if len(toks) != 2 {
+				return nil, fmt.Errorf("%s:%d: .implements needs exactly one descriptor", sourceFile, line)
+			}
+			iface, err := FromDescriptor(toks[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
+			}
+			c.Interfaces = append(c.Interfaces, iface)
+
+		case head == ".requires-args":
+			c.RequiresArgs = true
+
+		case head == ".field":
+			if len(toks) < 2 {
+				return nil, fmt.Errorf("%s:%d: .field needs a name:descriptor", sourceFile, line)
+			}
+			decl := toks[len(toks)-1]
+			colon := strings.IndexByte(decl, ':')
+			if colon <= 0 || colon == len(decl)-1 {
+				return nil, fmt.Errorf("%s:%d: malformed field %q", sourceFile, line, decl)
+			}
+			fname := decl[:colon]
+			if !isIdent(fname) {
+				return nil, fmt.Errorf("%s:%d: invalid field name %q", sourceFile, line, fname)
+			}
+			access, err := identList(toks[1 : len(toks)-1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
+			}
+			c.Fields = append(c.Fields, Field{
+				Name:       fname,
+				Descriptor: decl[colon+1:],
+				Access:     access,
+			})
+
+		case head == ".method":
+			if cur != nil {
+				return nil, fmt.Errorf("%s:%d: nested .method", sourceFile, line)
+			}
+			if len(toks) < 2 {
+				return nil, fmt.Errorf("%s:%d: .method needs a signature", sourceFile, line)
+			}
+			sig := toks[len(toks)-1]
+			name := sig
+			if p := strings.IndexByte(sig, '('); p > 0 {
+				name = sig[:p]
+			}
+			if !isIdent(name) {
+				return nil, fmt.Errorf("%s:%d: invalid method name %q", sourceFile, line, name)
+			}
+			if c.Method(name) != nil {
+				return nil, fmt.Errorf("%s:%d: duplicate method %s", sourceFile, line, name)
+			}
+			access, err := identList(toks[1 : len(toks)-1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
+			}
+			cur = &Method{Name: name, Access: access}
+
+		case head == ".end":
+			if len(toks) != 2 || toks[1] != "method" {
+				return nil, fmt.Errorf("%s:%d: malformed .end", sourceFile, line)
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("%s:%d: .end method without .method", sourceFile, line)
+			}
+			c.Methods = append(c.Methods, cur)
+			cur = nil
+
+		case strings.HasPrefix(head, "."):
+			return nil, fmt.Errorf("%s:%d: unknown directive %s", sourceFile, line, head)
+
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("%s:%d: instruction %q outside a method", sourceFile, line, head)
+			}
+			ins, err := parseInstr(toks, line)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sourceFile, err)
+			}
+			cur.Body = append(cur.Body, ins)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("%s: unterminated method %s", sourceFile, cur.Name)
+	}
+	if c.Name == "" {
+		return nil, fmt.Errorf("%s: missing .class directive", sourceFile)
+	}
+	if c.Super == "" {
+		return nil, fmt.Errorf("%s: class %s missing .super directive", sourceFile, c.Name)
+	}
+	return c, nil
+}
+
+// isIdent checks a Java-identifier-shaped name.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '$':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// identList validates a slice of access-flag tokens.
+func identList(toks []string) ([]string, error) {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if !isIdent(t) {
+			return nil, fmt.Errorf("invalid modifier %q", t)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// parseInstr converts a token line into a validated instruction. Type
+// descriptors are normalized to dotted class names.
+func parseInstr(toks []string, line int) (Instr, error) {
+	op := Op(toks[0])
+	args := make([]string, 0, len(toks)-1)
+	for _, t := range toks[1:] {
+		if len(t) >= 3 && t[0] == 'L' && t[len(t)-1] == ';' {
+			dotted, err := FromDescriptor(t)
+			if err != nil {
+				return Instr{}, fmt.Errorf("line %d: %w", line, err)
+			}
+			args = append(args, dotted)
+			continue
+		}
+		args = append(args, t)
+	}
+	ins := Instr{Op: op, Args: args, Line: line}
+	if err := ins.validate(); err != nil {
+		return Instr{}, err
+	}
+	return ins, nil
+}
+
+// tokenize splits a source line into tokens, honouring double quotes and '#'
+// comments. Quoted tokens are returned unquoted.
+func tokenize(raw string) ([]string, error) {
+	var toks []string
+	var cur strings.Builder
+	inQuote := false
+	haveTok := false
+	flush := func() {
+		if haveTok {
+			toks = append(toks, cur.String())
+			cur.Reset()
+			haveTok = false
+		}
+	}
+	for i := 0; i < len(raw); i++ {
+		ch := raw[i]
+		switch {
+		case inQuote:
+			switch ch {
+			case '"':
+				inQuote = false
+				flush()
+			case '\\':
+				if i+1 < len(raw) {
+					i++
+					switch raw[i] {
+					case 'n':
+						cur.WriteByte('\n')
+					case 't':
+						cur.WriteByte('\t')
+					case '"':
+						cur.WriteByte('"')
+					case '\\':
+						cur.WriteByte('\\')
+					default:
+						return nil, fmt.Errorf("bad escape \\%c", raw[i])
+					}
+				} else {
+					return nil, fmt.Errorf("dangling escape")
+				}
+			default:
+				cur.WriteByte(ch)
+			}
+		case ch == '"':
+			flush()
+			inQuote = true
+			haveTok = true // empty strings are valid tokens
+		case ch == '#':
+			flush()
+			return toks, nil
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			flush()
+		default:
+			cur.WriteByte(ch)
+			haveTok = true
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated string literal")
+	}
+	flush()
+	return toks, nil
+}
+
+// WriteClass renders a class back to .smali source. The output round-trips
+// through ParseClass.
+func WriteClass(c *Class) []byte {
+	var b strings.Builder
+	b.WriteString(".class ")
+	for _, a := range c.Access {
+		b.WriteString(a)
+		b.WriteByte(' ')
+	}
+	b.WriteString(ToDescriptor(c.Name))
+	b.WriteByte('\n')
+	b.WriteString(".super ")
+	b.WriteString(ToDescriptor(c.Super))
+	b.WriteByte('\n')
+	for _, i := range c.Interfaces {
+		b.WriteString(".implements ")
+		b.WriteString(ToDescriptor(i))
+		b.WriteByte('\n')
+	}
+	if c.RequiresArgs {
+		b.WriteString(".requires-args\n")
+	}
+	for _, f := range c.Fields {
+		b.WriteString(".field ")
+		for _, a := range f.Access {
+			b.WriteString(a)
+			b.WriteByte(' ')
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(':')
+		b.WriteString(f.Descriptor)
+		b.WriteByte('\n')
+	}
+	for _, m := range c.Methods {
+		b.WriteByte('\n')
+		b.WriteString(".method ")
+		for _, a := range m.Access {
+			b.WriteString(a)
+			b.WriteByte(' ')
+		}
+		b.WriteString(m.Name)
+		b.WriteString("()V\n")
+		for _, ins := range m.Body {
+			b.WriteString("    ")
+			b.WriteString(ins.String())
+			b.WriteByte('\n')
+		}
+		b.WriteString(".end method\n")
+	}
+	return []byte(b.String())
+}
+
+// ParseProgram parses multiple files (path -> contents) into a validated
+// Program. Files are processed in sorted-path order for determinism.
+func ParseProgram(files map[string][]byte) (*Program, error) {
+	p := NewProgram()
+	paths := make([]string, 0, len(files))
+	for path := range files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		c, err := ParseClass(path, files[path])
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

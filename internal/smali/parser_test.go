@@ -1,0 +1,181 @@
+package smali
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const mainSmali = `# MainActivity of the demo app
+.class public Lcom/example/MainActivity;
+.super Landroid/app/Activity;
+.implements Lcom/example/HomeFragment$Host;
+
+.field private mUser:Ljava/lang/String;
+
+.method public onCreate()V
+    set-content-view @layout/activity_main
+    set-click-listener @id/btn_next onNext
+    get-fragment-manager
+    begin-transaction
+    txn-add @id/container Lcom/example/HomeFragment;
+    txn-commit
+    invoke-sensitive "internet/connect"
+.end method
+
+.method public onNext()V
+    new-intent Lcom/example/MainActivity; Lcom/example/DetailActivity;
+    start-activity
+.end method
+
+.method public onLogin()V
+    require-input @id/edit_user "alice"
+    new-intent-action "com.example.HOME"
+    start-activity
+.end method
+`
+
+func parseMain(t *testing.T) *Class {
+	t.Helper()
+	c, err := ParseClass("smali/com/example/MainActivity.smali", []byte(mainSmali))
+	if err != nil {
+		t.Fatalf("ParseClass: %v", err)
+	}
+	return c
+}
+
+func TestParseClassHeader(t *testing.T) {
+	c := parseMain(t)
+	if c.Name != "com.example.MainActivity" {
+		t.Errorf("Name = %q", c.Name)
+	}
+	if c.Super != ClassActivity {
+		t.Errorf("Super = %q", c.Super)
+	}
+	if len(c.Interfaces) != 1 || c.Interfaces[0] != "com.example.HomeFragment$Host" {
+		t.Errorf("Interfaces = %v", c.Interfaces)
+	}
+	if len(c.Access) != 1 || c.Access[0] != "public" {
+		t.Errorf("Access = %v", c.Access)
+	}
+	if len(c.Fields) != 1 || c.Fields[0].Name != "mUser" || c.Fields[0].Descriptor != "Ljava/lang/String;" {
+		t.Errorf("Fields = %+v", c.Fields)
+	}
+}
+
+func TestParseMethodBodies(t *testing.T) {
+	c := parseMain(t)
+	if len(c.Methods) != 3 {
+		t.Fatalf("methods = %d, want 3", len(c.Methods))
+	}
+	oc := c.Method("onCreate")
+	if oc == nil || len(oc.Body) != 7 {
+		t.Fatalf("onCreate body = %+v", oc)
+	}
+	wantOps := []Op{OpSetContentView, OpSetClickListener, OpGetFragmentManager,
+		OpBeginTransaction, OpTxnAdd, OpTxnCommit, OpInvokeSensitive}
+	for i, ins := range oc.Body {
+		if ins.Op != wantOps[i] {
+			t.Errorf("onCreate[%d].Op = %s, want %s", i, ins.Op, wantOps[i])
+		}
+	}
+	add := oc.Body[4]
+	if !reflect.DeepEqual(add.Args, []string{"@id/container", "com.example.HomeFragment"}) {
+		t.Errorf("txn-add args = %v", add.Args)
+	}
+	next := c.Method("onNext")
+	if next.Body[0].Args[1] != "com.example.DetailActivity" {
+		t.Errorf("new-intent args = %v", next.Body[0].Args)
+	}
+	login := c.Method("onLogin")
+	if !reflect.DeepEqual(login.Body[0].Args, []string{"@id/edit_user", "alice"}) {
+		t.Errorf("require-input args = %v", login.Body[0].Args)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no class", ".super Landroid/app/Activity;"},
+		{"no super", ".class Lp/A;"},
+		{"dup class directive", ".class Lp/A;\n.class Lp/B;\n.super Lp/C;"},
+		{"bad descriptor", ".class public NotADescriptor\n.super Landroid/app/Activity;"},
+		{"instr outside method", ".class Lp/A;\n.super Landroid/app/Activity;\nnop"},
+		{"unknown op", ".class Lp/A;\n.super Landroid/app/Activity;\n.method m()V\nbogus-op\n.end method"},
+		{"wrong arity", ".class Lp/A;\n.super Landroid/app/Activity;\n.method m()V\nstart-activity extra\n.end method"},
+		{"unterminated method", ".class Lp/A;\n.super Landroid/app/Activity;\n.method m()V\nnop"},
+		{"unterminated string", ".class Lp/A;\n.super Landroid/app/Activity;\n.method m()V\nlog \"oops\n.end method"},
+		{"nested method", ".class Lp/A;\n.super Landroid/app/Activity;\n.method a()V\n.method b()V\n.end method\n.end method"},
+		{"dup method", ".class Lp/A;\n.super Landroid/app/Activity;\n.method a()V\n.end method\n.method a()V\n.end method"},
+		{"bad res ref", ".class Lp/A;\n.super Landroid/app/Activity;\n.method m()V\nset-content-view layout/x\n.end method"},
+		{"unknown directive", ".class Lp/A;\n.super Landroid/app/Activity;\n.bogus"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseClass("f.smali", []byte(tc.src)); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks, err := tokenize(`  put-extra "user name" "a\"b\\c"  # trailing comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"put-extra", "user name", `a"b\c`}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("toks = %q, want %q", toks, want)
+	}
+	toks, err = tokenize(`log ""`)
+	if err != nil || len(toks) != 2 || toks[1] != "" {
+		t.Fatalf("empty string token: %q, %v", toks, err)
+	}
+	if toks, _ := tokenize("# full comment line"); len(toks) != 0 {
+		t.Fatalf("comment line: %q", toks)
+	}
+}
+
+func TestWriteClassRoundTrip(t *testing.T) {
+	c := parseMain(t)
+	src := WriteClass(c)
+	back, err := ParseClass(c.SourceFile, src)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, src)
+	}
+	back.SourceFile = c.SourceFile
+	// Instruction lines differ; compare structurally.
+	if back.Name != c.Name || back.Super != c.Super {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if len(back.Methods) != len(c.Methods) {
+		t.Fatalf("method count: %d vs %d", len(back.Methods), len(c.Methods))
+	}
+	for i, m := range c.Methods {
+		bm := back.Methods[i]
+		if bm.Name != m.Name || len(bm.Body) != len(m.Body) {
+			t.Fatalf("method %s mismatch", m.Name)
+		}
+		for j := range m.Body {
+			if bm.Body[j].Op != m.Body[j].Op || !reflect.DeepEqual(bm.Body[j].Args, m.Body[j].Args) {
+				t.Errorf("%s[%d]: %v vs %v", m.Name, j, bm.Body[j], m.Body[j])
+			}
+		}
+	}
+}
+
+func TestRequiresArgsDirective(t *testing.T) {
+	src := ".class Lp/F;\n.super Landroid/app/Fragment;\n.requires-args\n"
+	c, err := ParseClass("f.smali", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.RequiresArgs {
+		t.Fatal("RequiresArgs not set")
+	}
+	out := string(WriteClass(c))
+	if !strings.Contains(out, ".requires-args") {
+		t.Fatalf("writer dropped .requires-args:\n%s", out)
+	}
+}

@@ -1,0 +1,306 @@
+package smali
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Well-known framework classes. Classes in the android.* / java.* namespaces
+// are framework classes: they are referenced by .super and .implements lines
+// but have no .smali file of their own.
+const (
+	ClassActivity         = "android.app.Activity"
+	ClassFragment         = "android.app.Fragment"
+	ClassSupportFragment  = "android.support.v4.app.Fragment"
+	ClassFragmentActivity = "android.support.v4.app.FragmentActivity"
+	ClassObject           = "java.lang.Object"
+	ClassIntent           = "android.content.Intent"
+	ClassReceiver         = "android.content.BroadcastReceiver"
+)
+
+// FrameworkClass reports whether name belongs to the simulated framework
+// rather than to application code.
+func FrameworkClass(name string) bool {
+	return strings.HasPrefix(name, "android.") || strings.HasPrefix(name, "java.")
+}
+
+// Instr is one instruction inside a method body.
+type Instr struct {
+	Op   Op
+	Args []string
+	Line int // 1-based source line, for diagnostics
+}
+
+// String renders the instruction in source form.
+func (i Instr) String() string {
+	if len(i.Args) == 0 {
+		return string(i.Op)
+	}
+	parts := make([]string, 0, 1+len(i.Args))
+	parts = append(parts, string(i.Op))
+	spec := opSpecs[i.Op]
+	for n, a := range i.Args {
+		var k argKind
+		if n < len(spec.kinds) {
+			k = spec.kinds[n]
+		}
+		switch k {
+		case argType:
+			parts = append(parts, ToDescriptor(a))
+		case argStr:
+			parts = append(parts, fmt.Sprintf("%q", a))
+		default:
+			parts = append(parts, a)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Method is a named method with an ordered instruction body.
+type Method struct {
+	Name   string
+	Access []string // e.g. ["public"]
+	Body   []Instr
+}
+
+// Field is a declared field.
+type Field struct {
+	Name       string
+	Descriptor string
+	Access     []string
+}
+
+// Class is one parsed .smali class.
+type Class struct {
+	// Name is the dotted class name, e.g. "com.example.MainActivity" or the
+	// inner-class form "com.example.MainActivity$1".
+	Name string
+	// Super is the dotted superclass name.
+	Super string
+	// Interfaces lists implemented interfaces.
+	Interfaces []string
+	// Access holds class access flags ("public", "final", ...).
+	Access []string
+	// RequiresArgs marks fragment classes whose newInstance needs parameters;
+	// reflective instantiation of such classes fails (paper §VII-B2, the
+	// com.inditex.zara case).
+	RequiresArgs bool
+	// Fields and Methods preserve declaration order.
+	Fields  []Field
+	Methods []*Method
+	// SourceFile is the archive path the class was parsed from.
+	SourceFile string
+}
+
+// Method returns the named method, or nil.
+func (c *Class) Method(name string) *Method {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Outer returns the outer-class name for inner classes ("A$1" -> "A"), or ""
+// if the class is not an inner class.
+func (c *Class) Outer() string {
+	if i := strings.IndexByte(c.Name, '$'); i > 0 {
+		return c.Name[:i]
+	}
+	return ""
+}
+
+// Program is a set of classes indexed by name, i.e. the decompiled code of a
+// whole application.
+type Program struct {
+	classes map[string]*Class
+	order   []string
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{classes: make(map[string]*Class)}
+}
+
+// Add inserts a class. Duplicate class names are an error.
+func (p *Program) Add(c *Class) error {
+	if c.Name == "" {
+		return fmt.Errorf("smali: class with empty name")
+	}
+	if _, dup := p.classes[c.Name]; dup {
+		return fmt.Errorf("smali: duplicate class %s", c.Name)
+	}
+	p.classes[c.Name] = c
+	p.order = append(p.order, c.Name)
+	return nil
+}
+
+// Class returns the named class, or nil.
+func (p *Program) Class(name string) *Class {
+	return p.classes[name]
+}
+
+// Names returns all class names in insertion order. The slice is a copy.
+func (p *Program) Names() []string {
+	return append([]string(nil), p.order...)
+}
+
+// Len reports the number of classes.
+func (p *Program) Len() int { return len(p.classes) }
+
+// SuperChain returns the chain of superclass names starting at name's direct
+// superclass and ending at the last resolvable ancestor (framework classes
+// terminate the chain since they have no .smali file). This is the
+// getSuperChain of Algorithm 2. Cycles are broken defensively.
+func (p *Program) SuperChain(name string) []string {
+	var chain []string
+	seen := map[string]bool{name: true}
+	cur := p.classes[name]
+	for cur != nil && cur.Super != "" {
+		if seen[cur.Super] {
+			break
+		}
+		seen[cur.Super] = true
+		chain = append(chain, cur.Super)
+		if FrameworkClass(cur.Super) {
+			break
+		}
+		cur = p.classes[cur.Super]
+	}
+	return chain
+}
+
+// IsSubclassOf reports whether name transitively extends base (base itself is
+// not a subclass of base).
+func (p *Program) IsSubclassOf(name, base string) bool {
+	for _, s := range p.SuperChain(name) {
+		if s == base {
+			return true
+		}
+	}
+	return false
+}
+
+// IsFragmentClass reports whether name extends android.app.Fragment or
+// android.support.v4.app.Fragment (paper §IV-B2 and Algorithm 2).
+func (p *Program) IsFragmentClass(name string) bool {
+	return p.IsSubclassOf(name, ClassFragment) || p.IsSubclassOf(name, ClassSupportFragment)
+}
+
+// IsActivityClass reports whether name extends android.app.Activity or
+// android.support.v4.app.FragmentActivity.
+func (p *Program) IsActivityClass(name string) bool {
+	return p.IsSubclassOf(name, ClassActivity) || p.IsSubclassOf(name, ClassFragmentActivity)
+}
+
+// FragmentClasses returns all fragment subclasses, sorted. This implements
+// the two-pass scan of §IV-B2: direct subclasses first, then derived classes
+// of those subclasses (SuperChain already makes the scan transitive).
+func (p *Program) FragmentClasses() []string {
+	var out []string
+	for name := range p.classes {
+		if p.IsFragmentClass(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActivityClasses returns all activity subclasses, sorted.
+func (p *Program) ActivityClasses() []string {
+	var out []string
+	for name := range p.classes {
+		if p.IsActivityClass(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InnerClasses returns the classes declared inside name (dollar-sign naming
+// convention), sorted. Algorithm 2's getInnerClass includes the class itself;
+// callers that need that behaviour use ClassAndInner.
+func (p *Program) InnerClasses(name string) []string {
+	prefix := name + "$"
+	var out []string
+	for n := range p.classes {
+		if strings.HasPrefix(n, prefix) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassAndInner returns name followed by its inner classes — the getInnerClass
+// set of Algorithm 2.
+func (p *Program) ClassAndInner(name string) []string {
+	return append([]string{name}, p.InnerClasses(name)...)
+}
+
+// UsedClasses returns the set of class names referenced by the instructions
+// of the given class (Algorithm 2's getUsedClass), sorted. Only operands with
+// class shape count; framework names are included so callers can walk their
+// chains uniformly.
+func (p *Program) UsedClasses(name string) []string {
+	c := p.classes[name]
+	if c == nil {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, m := range c.Methods {
+		for _, ins := range m.Body {
+			spec := opSpecs[ins.Op]
+			for n, k := range spec.kinds {
+				if k == argType && n < len(ins.Args) {
+					set[ins.Args[n]] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks cross-class invariants: every non-framework superclass and
+// referenced class must exist in the program.
+func (p *Program) Validate() error {
+	for _, name := range p.order {
+		c := p.classes[name]
+		if c.Super == "" {
+			return fmt.Errorf("smali: class %s has no superclass", name)
+		}
+		if !FrameworkClass(c.Super) && p.classes[c.Super] == nil {
+			return fmt.Errorf("smali: class %s extends unknown class %s", name, c.Super)
+		}
+		for _, u := range p.UsedClasses(name) {
+			if !FrameworkClass(u) && p.classes[u] == nil {
+				return fmt.Errorf("smali: class %s references unknown class %s", name, u)
+			}
+		}
+	}
+	return nil
+}
+
+// ToDescriptor converts a dotted class name to the Dalvik descriptor form
+// used in source ("com.ex.A" -> "Lcom/ex/A;").
+func ToDescriptor(dotted string) string {
+	return "L" + strings.ReplaceAll(dotted, ".", "/") + ";"
+}
+
+// FromDescriptor converts a Dalvik descriptor to a dotted class name. It
+// returns an error for malformed descriptors.
+func FromDescriptor(desc string) (string, error) {
+	if len(desc) < 3 || desc[0] != 'L' || desc[len(desc)-1] != ';' {
+		return "", fmt.Errorf("smali: malformed type descriptor %q", desc)
+	}
+	return strings.ReplaceAll(desc[1:len(desc)-1], "/", "."), nil
+}

@@ -1,0 +1,176 @@
+package statics
+
+import (
+	"strings"
+	"testing"
+
+	"fragdroid/internal/aftm"
+	"fragdroid/internal/apk"
+	"fragdroid/internal/manifest"
+)
+
+// rawApp builds an app straight from sources through the real parsers.
+func rawApp(t *testing.T, activities []string, layouts map[string]string, classes map[string]string) *apk.App {
+	t.Helper()
+	arch := apk.NewArchive()
+	mb := manifest.NewBuilder("e")
+	for i, a := range activities {
+		if i == 0 {
+			mb.Launcher(a)
+		} else {
+			mb.Activity(a)
+		}
+	}
+	man, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := man.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Put(apk.ManifestPath, data); err != nil {
+		t.Fatal(err)
+	}
+	for name, xml := range layouts {
+		if err := arch.Put(apk.LayoutDir+name+".xml", []byte(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cls, src := range classes {
+		p := apk.SmaliDir + strings.ReplaceAll(cls, ".", "/") + ".smali"
+		if err := arch.Put(p, []byte(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app, err := apk.Load(arch)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return app
+}
+
+// An intent to an activity that the manifest never declares creates no edge
+// (Algorithm 1's declared-set condition).
+func TestUndeclaredIntentTargetCreatesNoEdge(t *testing.T) {
+	app := rawApp(t,
+		[]string{"e.A"},
+		map[string]string{"a": `<LinearLayout id="@+id/a_root"/>`},
+		map[string]string{
+			"e.A": `
+.class Le/A;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/a
+.end method
+.method onGhost()V
+    new-intent Le/A; Le/Ghost;
+    start-activity
+.end method`,
+			// Ghost exists as a class but is NOT in the manifest.
+			"e.Ghost": `
+.class Le/Ghost;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/a
+.end method`,
+		})
+	ex, err := Extract(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Model.HasNode(aftm.ActivityNode("e.Ghost")) {
+		t.Fatal("undeclared activity entered the AFTM")
+	}
+	if len(ex.EffectiveActivities) != 1 {
+		t.Fatalf("effective = %v", ex.EffectiveActivities)
+	}
+}
+
+// An action that the manifest maps back to the same activity produces no
+// self edge.
+func TestSelfActionCreatesNoEdge(t *testing.T) {
+	app := rawApp(t,
+		[]string{"e.A", "e.B"},
+		map[string]string{"a": `<LinearLayout id="@+id/a_root"/>`},
+		map[string]string{
+			"e.A": `
+.class Le/A;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/a
+    new-intent-action "android.intent.action.MAIN"
+.end method
+.method onB()V
+    new-intent Le/A; Le/B;
+    start-activity
+.end method`,
+			"e.B": `
+.class Le/B;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/a
+.end method`,
+		})
+	ex, err := Extract(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MAIN resolves to e.A itself: no self edge, only the explicit A->B.
+	c := ex.Model.Count()
+	if c.E1 != 1 {
+		t.Fatalf("E1 = %d, edges %v", c.E1, ex.Model.Edges())
+	}
+}
+
+// A fragment declared statically inside another fragment's layout is
+// effective and transaction-committed.
+func TestNestedStaticFragmentIsEffective(t *testing.T) {
+	app := rawApp(t,
+		[]string{"e.A"},
+		map[string]string{
+			"a":     `<LinearLayout id="@+id/a_root"><FrameLayout id="@+id/c"/></LinearLayout>`,
+			"outer": `<LinearLayout id="@+id/o_root"><fragment id="@+id/slot" class="e.Inner"/></LinearLayout>`,
+			"inner": `<LinearLayout id="@+id/i_root"/>`,
+		},
+		map[string]string{
+			"e.A": `
+.class Le/A;
+.super Landroid/app/Activity;
+.method onCreate()V
+    set-content-view @layout/a
+    get-fragment-manager
+    begin-transaction
+    txn-add @id/c Le/Outer;
+    txn-commit
+.end method`,
+			"e.Outer": `
+.class Le/Outer;
+.super Landroid/app/Fragment;
+.method onCreateView()V
+    set-content-view @layout/outer
+.end method`,
+			"e.Inner": `
+.class Le/Inner;
+.super Landroid/app/Fragment;
+.method onCreateView()V
+    set-content-view @layout/inner
+.end method`,
+		})
+	ex, err := Extract(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundInner := false
+	for _, f := range ex.EffectiveFragments {
+		if f == "e.Inner" {
+			foundInner = true
+		}
+	}
+	if !foundInner {
+		t.Fatalf("nested static fragment not effective: %v", ex.EffectiveFragments)
+	}
+	if !ex.TxnCommitted["e.Inner"] {
+		t.Fatal("nested static fragment not marked transaction-committed")
+	}
+}

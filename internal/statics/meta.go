@@ -1,0 +1,92 @@
+package statics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Meta is the JSON metadata document the static phase emits (§III: "we
+// provide a JSON file that records all view components and the locations they
+// appear", plus the counts used by the evolutionary phase).
+type Meta struct {
+	Package             string            `json:"package"`
+	EntryActivity       string            `json:"entryActivity"`
+	Activities          []string          `json:"activities"`
+	Fragments           []string          `json:"fragments"`
+	Widgets             []WidgetLocation  `json:"widgets"`
+	Inputs              []InputWidget     `json:"inputs"`
+	UsesFragmentManager []string          `json:"usesFragmentManager"`
+	Containers          map[string]string `json:"containers,omitempty"`
+}
+
+// BuildMeta assembles the metadata document.
+func (ex *Extraction) BuildMeta() (*Meta, error) {
+	entry, err := ex.App.Manifest.EntryActivity()
+	if err != nil {
+		return nil, err
+	}
+	m := &Meta{
+		Package:       ex.App.Manifest.Package,
+		EntryActivity: entry,
+		Activities:    append([]string(nil), ex.EffectiveActivities...),
+		Fragments:     append([]string(nil), ex.EffectiveFragments...),
+		Inputs:        append([]InputWidget(nil), ex.InputWidgets...),
+		Containers:    make(map[string]string),
+	}
+	var refs []string
+	for ref := range ex.ResDeps.ByWidget {
+		refs = append(refs, ref)
+	}
+	sort.Strings(refs)
+	for _, ref := range refs {
+		m.Widgets = append(m.Widgets, ex.ResDeps.ByWidget[ref]...)
+	}
+	for a, used := range ex.UsesFragmentManager {
+		if used {
+			m.UsesFragmentManager = append(m.UsesFragmentManager, a)
+		}
+	}
+	sort.Strings(m.UsesFragmentManager)
+	for a, cs := range ex.Containers {
+		if len(cs) > 0 {
+			m.Containers[a] = cs[0]
+		}
+	}
+	return m, nil
+}
+
+// MetaJSON renders the metadata as indented JSON.
+func (ex *Extraction) MetaJSON() ([]byte, error) {
+	m, err := ex.BuildMeta()
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// InputTemplateJSON renders the discovered input widgets as a JSON document
+// for the analyst to fill in (the paper's "file containing resource-IDs of
+// all input widgets" that is completed manually in advance).
+func (ex *Extraction) InputTemplateJSON() ([]byte, error) {
+	return json.MarshalIndent(ex.InputWidgets, "", "  ")
+}
+
+// ParseInputValues reads a filled-in input file back into a ref → value map,
+// dropping entries the analyst left empty.
+func ParseInputValues(data []byte) (map[string]string, error) {
+	var ws []InputWidget
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return nil, fmt.Errorf("statics: parse input file: %w", err)
+	}
+	out := make(map[string]string)
+	for _, w := range ws {
+		if w.Ref == "" {
+			return nil, fmt.Errorf("statics: input entry with empty ref")
+		}
+		if w.Value != "" {
+			out[w.Ref] = w.Value
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package statics
+
+import (
+	"reflect"
+	"testing"
+
+	"fragdroid/internal/aftm"
+	"fragdroid/internal/corpus"
+)
+
+// The §V-A multi-host case: a fragment used by more than one Activity.
+func TestMultiHostFragmentDependency(t *testing.T) {
+	spec := &corpus.AppSpec{
+		Package: "com.multi",
+		Activities: []corpus.ActivitySpec{
+			{Name: "Main", Launcher: true,
+				Wires: []corpus.FragmentWire{{Fragment: "Shared", Kind: corpus.WireTxnOnCreate}}},
+			{Name: "Second", SupportFM: true,
+				Wires: []corpus.FragmentWire{{Fragment: "Shared", Kind: corpus.WireTxnButton}}},
+		},
+		Fragments: []corpus.FragmentSpec{{Name: "Shared"}},
+		Transition: []corpus.Transition{
+			{From: "Main", To: "Second", Kind: corpus.TransButton},
+		},
+	}
+	app, err := corpus.BuildApp(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Extract(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHosts := []string{"com.multi.Main", "com.multi.Second"}
+	if got := ex.Deps.HostsOf["com.multi.Shared"]; !reflect.DeepEqual(got, wantHosts) {
+		t.Fatalf("HostsOf = %v, want %v", got, wantHosts)
+	}
+	if h, _ := ex.Deps.PrimaryHost("com.multi.Shared"); h != "com.multi.Main" {
+		t.Fatalf("PrimaryHost = %q", h)
+	}
+	// Both hosts carry an E2 edge to the shared fragment.
+	for _, host := range wantHosts {
+		if _, ok := ex.Model.EdgeBetween(aftm.ActivityNode(host), aftm.FragmentNode("com.multi.Shared")); !ok {
+			t.Errorf("missing E2 edge from %s", host)
+		}
+	}
+	// The support-library flavour is recorded for the reflection template.
+	if !ex.SupportFM["com.multi.Second"] {
+		t.Error("Second not marked support-FM")
+	}
+	if ex.SupportFM["com.multi.Main"] {
+		t.Error("Main wrongly marked support-FM")
+	}
+	// One fragment, so effective count is 1 despite two wires.
+	if len(ex.EffectiveFragments) != 1 {
+		t.Fatalf("EffectiveFragments = %v", ex.EffectiveFragments)
+	}
+}
