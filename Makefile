@@ -1,0 +1,21 @@
+GO ?= go
+BENCH_STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench writes the full benchmark log (the reproduction record) to a
+# timestamped file so runs can be compared over time.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' . | tee BENCH_$(BENCH_STAMP).txt

@@ -13,13 +13,17 @@
 //	A2  BenchmarkAblationForcedStart   §VI-C forced empty-Intent second loop
 //	A3  BenchmarkBaselineComparison    §VII-C "traditional tools miss ≥9.6%"
 //	M1  Benchmark{SmaliParse,DeviceStep,ArchiveRoundTrip,ExploreDemo}
+//	P1  BenchmarkStudyParallel         217-app study on 1..NumCPU workers
+//	P2  BenchmarkEvaluationCached      repeated evaluation against a warm cache
 package fragdroid_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/artifact"
 	"fragdroid/internal/baseline"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/explorer"
@@ -80,10 +84,7 @@ func BenchmarkTable2SensitiveAPIs(b *testing.B) {
 
 // E4 — Figure 5: AFTM construction by static extraction.
 func BenchmarkAFTMConstruction(b *testing.B) {
-	app, err := corpus.BuildApp(corpus.DemoSpec())
-	if err != nil {
-		b.Fatal(err)
-	}
+	app := demoApp(b)
 	b.ResetTimer()
 	var edges int
 	for i := 0; i < b.N; i++ {
@@ -145,18 +146,86 @@ func BenchmarkChallengeApps(b *testing.B) {
 	b.ReportMetric(visited, "challenge-fragments-visited")
 }
 
-// corpusApps builds the 15 Table I apps once for the ablation benches.
+// corpusApps fetches the 15 Table I apps for the ablation benches through
+// the process-wide artifact cache: every ablation shares one set of builds.
 func corpusApps(b *testing.B) []*apk.App {
 	b.Helper()
 	var apps []*apk.App
 	for _, row := range corpus.PaperRows() {
-		app, err := corpus.BuildApp(corpus.PaperSpec(row))
+		app, err := artifact.Default.App(corpus.PaperSpec(row))
 		if err != nil {
 			b.Fatal(err)
 		}
 		apps = append(apps, app)
 	}
 	return apps
+}
+
+// demoApp fetches the demo app through the process-wide artifact cache.
+func demoApp(b *testing.B) *apk.App {
+	b.Helper()
+	app, err := artifact.Default.App(corpus.DemoSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app
+}
+
+// P1 — the 217-app study on a bounded worker pool. Every iteration gets a
+// fresh cache, so the measured work is real building and scanning rather
+// than memoized lookups; the workers-N/workers-1 time ratio is the headline.
+func BenchmarkStudyParallel(b *testing.B) {
+	workerSet := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		workerSet = append(workerSet, n)
+	}
+	for _, workers := range workerSet {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var share float64
+			for i := 0; i < b.N; i++ {
+				res, err := report.RunStudyWith(report.StudyConfig{
+					Seed:     1,
+					Parallel: workers,
+					Cache:    artifact.NewCache(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				share = res.FragmentSharePct()
+			}
+			b.ReportMetric(share, "%apps-with-fragments")
+		})
+	}
+}
+
+// P2 — repeated evaluation against a warmed artifact cache: each run pays
+// for exploration only. The reported rebuild/re-extraction counts must be
+// zero; cache-hits/op shows the lookups served from memory.
+func BenchmarkEvaluationCached(b *testing.B) {
+	cache := artifact.NewCache()
+	cfg := report.DefaultEvalConfig()
+	cfg.Cache = cache
+	if _, err := report.RunEvaluation(cfg); err != nil {
+		b.Fatal(err)
+	}
+	warm := cache.Stats()
+	b.ResetTimer()
+	var actPct, fragPct float64
+	for i := 0; i < b.N; i++ {
+		ev, err := report.RunEvaluation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		actPct, fragPct, _ = ev.BuildTable1().Averages()
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	b.ReportMetric(float64(st.Hits-warm.Hits)/float64(b.N), "cache-hits/op")
+	b.ReportMetric(float64(st.Builds-warm.Builds), "rebuilds")
+	b.ReportMetric(float64(st.Extractions-warm.Extractions), "re-extractions")
+	b.ReportMetric(actPct, "%activity-coverage")
+	b.ReportMetric(fragPct, "%fragment-coverage")
 }
 
 func runAblation(b *testing.B, mutate func(*explorer.Config)) (actPct, fragPct float64) {
@@ -310,10 +379,7 @@ func BenchmarkAblationBackNav(b *testing.B) {
 // curve: FragDroid's systematic test cases vs Monkey's raw events on the
 // demo app.
 func BenchmarkBudgetSweep(b *testing.B) {
-	app, err := corpus.BuildApp(corpus.DemoSpec())
-	if err != nil {
-		b.Fatal(err)
-	}
+	app := demoApp(b)
 	for _, budget := range []int{5, 15, 60, 600} {
 		budget := budget
 		b.Run(fmt.Sprintf("fragdroid-%dcases", budget), func(b *testing.B) {
@@ -391,10 +457,7 @@ func BenchmarkSmaliParse(b *testing.B) {
 }
 
 func BenchmarkArchiveRoundTrip(b *testing.B) {
-	app, err := corpus.BuildApp(corpus.DemoSpec())
-	if err != nil {
-		b.Fatal(err)
-	}
+	app := demoApp(b)
 	arch, err := app.Pack()
 	if err != nil {
 		b.Fatal(err)
@@ -410,10 +473,7 @@ func BenchmarkArchiveRoundTrip(b *testing.B) {
 }
 
 func BenchmarkDeviceStep(b *testing.B) {
-	app, err := corpus.BuildApp(corpus.DemoSpec())
-	if err != nil {
-		b.Fatal(err)
-	}
+	app := demoApp(b)
 	res, err := baseline.Monkey(app, baseline.MonkeyConfig{Seed: 1, Events: 1})
 	_ = res
 	if err != nil {
@@ -457,10 +517,7 @@ func BenchmarkExploreScale(b *testing.B) {
 }
 
 func BenchmarkExploreDemo(b *testing.B) {
-	app, err := corpus.BuildApp(corpus.DemoSpec())
-	if err != nil {
-		b.Fatal(err)
-	}
+	app := demoApp(b)
 	b.ResetTimer()
 	var cases int
 	for i := 0; i < b.N; i++ {

@@ -5,15 +5,20 @@
 // Usage:
 //
 //	fragstudy                   # the 217-app fragment-usage study
+//	fragstudy -parallel 8       # same study, 8 apps analyzed concurrently
 //	fragstudy -table1           # the Table I coverage run (15 apps)
 //	fragstudy -table2           # the Table II sensitive-operations matrix
 //	fragstudy -compare          # FragDroid vs Activity-level MBT vs Monkey
+//
+// -parallel applies to every mode and defaults to the machine's CPU count;
+// results are deterministic and identical to a sequential run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"fragdroid/internal/report"
 )
@@ -28,18 +33,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fragstudy", flag.ContinueOnError)
 	var (
-		seed    = fs.Int64("seed", 1, "study corpus seed")
-		table1  = fs.Bool("table1", false, "run the Table I coverage evaluation")
-		table2  = fs.Bool("table2", false, "run the Table II sensitive-operations evaluation")
-		compare = fs.Bool("compare", false, "run the baseline comparison")
-		gap     = fs.Bool("gap", false, "run the static-vs-dynamic sensitive-site comparison")
+		seed     = fs.Int64("seed", 1, "study corpus seed")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "number of apps analyzed concurrently")
+		table1   = fs.Bool("table1", false, "run the Table I coverage evaluation")
+		table2   = fs.Bool("table2", false, "run the Table II sensitive-operations evaluation")
+		compare  = fs.Bool("compare", false, "run the baseline comparison")
+		gap      = fs.Bool("gap", false, "run the static-vs-dynamic sensitive-site comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	cfg := report.DefaultEvalConfig()
+	cfg.Parallel = *parallel
+
 	if *table1 || *table2 || *gap {
-		ev, err := report.RunEvaluation(report.DefaultEvalConfig())
+		ev, err := report.RunEvaluation(cfg)
 		if err != nil {
 			return err
 		}
@@ -55,7 +64,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *compare {
-		cmp, err := report.RunComparison(report.DefaultEvalConfig(), 7, 1500)
+		cmp, err := report.RunComparison(cfg, 7, 1500)
 		if err != nil {
 			return err
 		}
@@ -63,7 +72,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	res, err := report.RunStudy(*seed)
+	res, err := report.RunStudyWith(report.StudyConfig{Seed: *seed, Parallel: *parallel})
 	if err != nil {
 		return err
 	}

@@ -92,6 +92,64 @@ func Load(a *Archive) (*App, error) {
 	return app, nil
 }
 
+// Assemble constructs an App directly from in-memory parts, running the
+// same registration, validation, and lint steps as Load without the
+// serialize-then-reparse round trip. Layouts are registered in sorted-name
+// order and classes added in sorted-archive-path order, mirroring Load's
+// sorted-path iteration, so resource-ID numbering and program order are
+// identical to loading the equivalent archive. Programmatically built
+// classes are checked with smali.Class.Check, the parser's validation.
+func Assemble(man *manifest.Manifest, layouts []*layout.Layout, classes []*smali.Class) (*App, error) {
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	tbl := res.NewTable()
+	lmap := make(map[string]*layout.Layout, len(layouts))
+	ordered := append([]*layout.Layout(nil), layouts...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+	for _, l := range ordered {
+		if lmap[l.Name] != nil {
+			return nil, fmt.Errorf("apk: duplicate layout %s", l.Name)
+		}
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		if err := l.Register(tbl); err != nil {
+			return nil, err
+		}
+		lmap[l.Name] = l
+	}
+	prog := smali.NewProgram()
+	orderedC := append([]*smali.Class(nil), classes...)
+	sort.Slice(orderedC, func(i, j int) bool {
+		return smaliPath(orderedC[i].Name) < smaliPath(orderedC[j].Name)
+	})
+	for _, c := range orderedC {
+		if err := c.Check(); err != nil {
+			return nil, err
+		}
+		if c.SourceFile == "" {
+			c.SourceFile = smaliPath(c.Name)
+		}
+		if err := prog.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	app := &App{Manifest: man, Layouts: lmap, Program: prog, Resources: tbl}
+	if err := app.Lint(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// smaliPath is the canonical archive entry path of a class.
+func smaliPath(name string) string {
+	return SmaliDir + strings.ReplaceAll(name, ".", "/") + ".smali"
+}
+
 // LoadBytes decodes a serialized archive into an App.
 func LoadBytes(data []byte) (*App, error) {
 	arch, err := ParseArchive(data)
@@ -124,8 +182,7 @@ func (app *App) Pack() (*Archive, error) {
 	}
 	for _, cn := range app.Program.Names() {
 		c := app.Program.Class(cn)
-		p := SmaliDir + strings.ReplaceAll(cn, ".", "/") + ".smali"
-		if err := a.Put(p, smali.WriteClass(c)); err != nil {
+		if err := a.Put(smaliPath(cn), smali.WriteClass(c)); err != nil {
 			return nil, err
 		}
 	}

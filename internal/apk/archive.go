@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // magic is the archive header line.
@@ -129,12 +130,21 @@ func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
+// bufPool recycles serialization buffers across Bytes calls; the corpus
+// builders serialize hundreds of archives per study run.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
 // Bytes serializes the archive to memory.
 func (a *Archive) Bytes() []byte {
-	var buf bytes.Buffer
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
 	// Writing to a bytes.Buffer cannot fail.
-	_, _ = a.WriteTo(&buf)
-	return buf.Bytes()
+	_, _ = a.WriteTo(buf)
+	out := append([]byte(nil), buf.Bytes()...)
+	bufPool.Put(buf)
+	return out
 }
 
 // ReadArchive parses a serialized archive.

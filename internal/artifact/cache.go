@@ -1,0 +1,161 @@
+// Package artifact memoizes the expensive per-spec analysis artifacts —
+// corpus app builds and static extractions — behind a concurrency-safe,
+// single-flight cache. The evaluation harness calls corpus.BuildApp and
+// statics.Extract for the same 15 Table I apps from every benchmark and
+// ablation; with the cache each artifact is computed exactly once per
+// process and shared.
+//
+// Sharing is sound because both artifact kinds are read-only after
+// construction: the device clones layouts before mutating widget state, and
+// the explorer clones the extraction's AFTM (the only mutable part) before
+// evolving it. Every other field is only ever read.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/statics"
+)
+
+// Key derives the cache key from the spec's content (not its pointer), so
+// two independently constructed but identical specs share one artifact.
+func Key(spec *corpus.AppSpec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// AppSpec is a plain data struct; Marshal cannot fail on it today.
+		// Degrade to the package name so the cache stays usable if the
+		// struct ever grows an unmarshalable field.
+		return spec.Package
+	}
+	sum := sha256.Sum256(b)
+	return spec.Package + "#" + hex.EncodeToString(sum[:12])
+}
+
+// appEntry is the single-flight slot for one built app: the first caller
+// runs the build inside the Once, every other caller blocks on it and then
+// shares the result.
+type appEntry struct {
+	once sync.Once
+	app  *apk.App
+	err  error
+}
+
+type extEntry struct {
+	once sync.Once
+	ex   *statics.Extraction
+	err  error
+}
+
+// Cache memoizes built apps and static extractions by spec identity. The
+// zero value is not usable; use NewCache (or the process-wide Default).
+type Cache struct {
+	mu   sync.Mutex
+	apps map[string]*appEntry
+	exts map[string]*extEntry
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	builds      atomic.Uint64
+	extractions atomic.Uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		apps: make(map[string]*appEntry),
+		exts: make(map[string]*extEntry),
+	}
+}
+
+// Default is the process-wide cache the evaluation entry points fall back
+// to, so repeated benchmark and CLI runs in one process share artifacts.
+var Default = NewCache()
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits and Misses count lookups that found / did not find an entry
+	// (across both artifact kinds).
+	Hits, Misses uint64
+	// Builds counts corpus app builds actually performed; Extractions
+	// counts static extractions actually performed. A warmed cache serving
+	// a repeated evaluation performs zero of either.
+	Builds, Extractions uint64
+}
+
+// Stats returns the current counter values.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Builds:      c.builds.Load(),
+		Extractions: c.extractions.Load(),
+	}
+}
+
+// Reset drops all entries and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.apps = make(map[string]*appEntry)
+	c.exts = make(map[string]*extEntry)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.builds.Store(0)
+	c.extractions.Store(0)
+}
+
+// App returns the memoized build of spec. Packed specs yield apk.ErrPacked,
+// exactly like corpus.BuildApp; the error is memoized too. The returned App
+// is shared between callers and must be treated as read-only.
+func (c *Cache) App(spec *corpus.AppSpec) (*apk.App, error) {
+	key := Key(spec)
+	c.mu.Lock()
+	e := c.apps[key]
+	if e == nil {
+		e = &appEntry{}
+		c.apps[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.builds.Add(1)
+		e.app, e.err = corpus.BuildApp(spec)
+	})
+	return e.app, e.err
+}
+
+// Extraction returns the memoized static extraction of spec, building the
+// app first if needed. The shared *statics.Extraction is safe for
+// concurrent explorations: explorers clone the mutable AFTM and treat
+// everything else as read-only.
+func (c *Cache) Extraction(spec *corpus.AppSpec) (*statics.Extraction, error) {
+	key := Key(spec)
+	c.mu.Lock()
+	e := c.exts[key]
+	if e == nil {
+		e = &extEntry{}
+		c.exts[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		app, err := c.App(spec)
+		if err != nil {
+			e.err = err
+			return
+		}
+		c.extractions.Add(1)
+		e.ex, e.err = statics.Extract(app)
+	})
+	return e.ex, e.err
+}

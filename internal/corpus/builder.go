@@ -83,7 +83,11 @@ func BuildArchive(spec *AppSpec) (*apk.Archive, error) {
 		return nil, err
 	}
 	g := &generator{spec: spec}
-	arch, err := g.build()
+	p, err := g.build()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: build %s: %w", spec.Package, err)
+	}
+	arch, err := p.encode()
 	if err != nil {
 		return nil, fmt.Errorf("corpus: build %s: %w", spec.Package, err)
 	}
@@ -93,14 +97,60 @@ func BuildArchive(spec *AppSpec) (*apk.Archive, error) {
 	return arch, nil
 }
 
-// BuildApp generates and loads the app (packed specs fail with apk.ErrPacked,
-// as they would in the real pipeline).
+// BuildApp generates the app and assembles it directly from the in-memory
+// parts — no serialize-then-reparse round trip through the archive text.
+// apk.Assemble runs the same registration, validation, and lint steps as
+// apk.Load, so the resulting App is indistinguishable from the archive path
+// (TestBuildAppMatchesArchiveRoundTrip holds both paths together). Packed
+// specs fail with apk.ErrPacked, as they would in the real pipeline.
 func BuildApp(spec *AppSpec) (*apk.App, error) {
-	arch, err := BuildArchive(spec)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Packed {
+		return nil, apk.ErrPacked
+	}
+	g := &generator{spec: spec}
+	p, err := g.build()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: build %s: %w", spec.Package, err)
+	}
+	app, err := apk.Assemble(p.manifest, p.layouts, p.classes)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: build %s: %w", spec.Package, err)
+	}
+	return app, nil
+}
+
+// parts is the in-memory form of a generated app: the decoded artifacts that
+// encode() serializes into a .sapk and apk.Assemble consumes directly.
+type parts struct {
+	manifest *manifest.Manifest
+	layouts  []*layout.Layout
+	classes  []*smali.Class
+}
+
+// encode serializes the parts through the real encoders into an archive.
+func (p *parts) encode() (*apk.Archive, error) {
+	arch := apk.NewArchive()
+	data, err := p.manifest.Encode()
 	if err != nil {
 		return nil, err
 	}
-	return apk.Load(arch)
+	if err := arch.Put(apk.ManifestPath, data); err != nil {
+		return nil, err
+	}
+	for _, l := range p.layouts {
+		if err := putLayout(arch, l); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range p.classes {
+		if err := putClass(arch, c); err != nil {
+			return nil, err
+		}
+	}
+	return arch, nil
 }
 
 type generator struct {
@@ -143,24 +193,16 @@ func (g *generator) hostOf(frag string) (string, bool) {
 	return "", false
 }
 
-func (g *generator) build() (*apk.Archive, error) {
-	arch := apk.NewArchive()
-	if err := g.putManifest(arch); err != nil {
-		return nil, err
-	}
+func (g *generator) build() (*parts, error) {
+	p := &parts{manifest: g.buildManifest()}
 	for i := range g.spec.Activities {
 		a := &g.spec.Activities[i]
 		l, err := g.activityLayout(a)
 		if err != nil {
 			return nil, err
 		}
-		if err := putLayout(arch, l); err != nil {
-			return nil, err
-		}
-		cls := g.activityClass(a)
-		if err := putClass(arch, cls); err != nil {
-			return nil, err
-		}
+		p.layouts = append(p.layouts, l)
+		p.classes = append(p.classes, g.activityClass(a))
 	}
 	for i := range g.spec.Fragments {
 		f := &g.spec.Fragments[i]
@@ -168,20 +210,13 @@ func (g *generator) build() (*apk.Archive, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := putLayout(arch, l); err != nil {
-			return nil, err
-		}
-		cls := g.fragmentClass(f)
-		if err := putClass(arch, cls); err != nil {
-			return nil, err
-		}
+		p.layouts = append(p.layouts, l)
+		p.classes = append(p.classes, g.fragmentClass(f))
 	}
 	for i := range g.spec.Receivers {
-		if err := putClass(arch, g.receiverClass(&g.spec.Receivers[i])); err != nil {
-			return nil, err
-		}
+		p.classes = append(p.classes, g.receiverClass(&g.spec.Receivers[i]))
 	}
-	return arch, nil
+	return p, nil
 }
 
 func (g *generator) receiverClass(r *ReceiverSpec) *smali.Class {
@@ -219,7 +254,7 @@ func putClass(arch *apk.Archive, c *smali.Class) error {
 	return arch.Put(p, smali.WriteClass(c))
 }
 
-func (g *generator) putManifest(arch *apk.Archive) error {
+func (g *generator) buildManifest() *manifest.Manifest {
 	m := manifest.Manifest{Package: g.spec.Package, VersionName: "1.0"}
 	m.Application.Label = g.spec.Package
 	// Declare the permissions guarding every sensitive API the app invokes,
@@ -255,11 +290,7 @@ func (g *generator) putManifest(arch *apk.Archive) error {
 		}
 		m.Application.Receivers = append(m.Application.Receivers, rec)
 	}
-	data, err := m.Encode()
-	if err != nil {
-		return err
-	}
-	return arch.Put(apk.ManifestPath, data)
+	return &m
 }
 
 // requiredPermissions derives the unique, sorted permission set from all

@@ -1,10 +1,13 @@
 package corpus
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/smali"
 )
 
 func TestDemoSpecValidates(t *testing.T) {
@@ -111,6 +114,84 @@ func TestGeneratedStructure(t *testing.T) {
 	ll := app.Layouts["activity_login"]
 	if ll.Find(InputRef("Login", "Account")) == nil {
 		t.Error("gate input field missing")
+	}
+}
+
+// TestBuildAppMatchesArchiveRoundTrip pins the contract of the direct
+// in-memory assembly path: BuildApp must produce exactly what serializing
+// the spec to an archive and re-loading it produces — same manifest, same
+// layouts, same program order, same resource-ID numbering.
+func TestBuildAppMatchesArchiveRoundTrip(t *testing.T) {
+	specs := []*AppSpec{DemoSpec()}
+	for _, row := range PaperRows()[:3] {
+		specs = append(specs, PaperSpec(row))
+	}
+	for i, spec := range StudySpecs(1) {
+		if i%37 == 0 && !spec.Packed {
+			specs = append(specs, spec)
+		}
+	}
+	for _, spec := range specs {
+		direct, err := BuildApp(spec)
+		if err != nil {
+			t.Fatalf("%s: BuildApp: %v", spec.Package, err)
+		}
+		arch, err := BuildArchive(spec)
+		if err != nil {
+			t.Fatalf("%s: BuildArchive: %v", spec.Package, err)
+		}
+		loaded, err := apk.Load(arch)
+		if err != nil {
+			t.Fatalf("%s: Load: %v", spec.Package, err)
+		}
+		// Compare through the canonical encoders so representational slack
+		// (nil vs empty slices) doesn't mask or fake a difference.
+		dm, err := direct.Manifest.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lm, err := loaded.Manifest.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dm, lm) {
+			t.Errorf("%s: manifests differ", spec.Package)
+		}
+		if !reflect.DeepEqual(direct.LayoutNames(), loaded.LayoutNames()) {
+			t.Fatalf("%s: layout sets differ: %v vs %v",
+				spec.Package, direct.LayoutNames(), loaded.LayoutNames())
+		}
+		for _, n := range direct.LayoutNames() {
+			dl, err := direct.Layouts[n].Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ll, err := loaded.Layouts[n].Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dl, ll) {
+				t.Errorf("%s: layout %s differs", spec.Package, n)
+			}
+		}
+		if !reflect.DeepEqual(direct.Resources, loaded.Resources) {
+			t.Errorf("%s: resource tables differ", spec.Package)
+		}
+		if !reflect.DeepEqual(direct.Program.Names(), loaded.Program.Names()) {
+			t.Fatalf("%s: program order differs:\n%v\n%v",
+				spec.Package, direct.Program.Names(), loaded.Program.Names())
+		}
+		for _, name := range direct.Program.Names() {
+			dc, lc := direct.Program.Class(name), loaded.Program.Class(name)
+			if dc.SourceFile != lc.SourceFile {
+				t.Fatalf("%s: class %s source file %q vs %q",
+					spec.Package, name, dc.SourceFile, lc.SourceFile)
+			}
+			if !bytes.Equal(smali.WriteClass(dc), smali.WriteClass(lc)) {
+				t.Fatalf("%s: class %s differs:\n%s\nvs\n%s",
+					spec.Package, name, smali.WriteClass(dc), smali.WriteClass(lc))
+			}
+		}
 	}
 }
 

@@ -1,9 +1,11 @@
 // Package corpus generates the synthetic applications the evaluation runs
 // on: a spec-driven app builder, the 15 apps mirroring Table I of the paper,
 // the 217-app fragment-usage study corpus, and a seeded random-app generator
-// for property tests. Every generated app is assembled with the real
-// encoders and then round-tripped through Pack/Load, so everything the
-// analyzers and the device consume has passed the real parsers.
+// for property tests. BuildArchive serializes a spec with the real encoders;
+// BuildApp assembles the same App directly in memory (validated by the same
+// parser-grade checks — see apk.Assemble), skipping the serialize-reparse
+// round trip. TestBuildAppMatchesArchiveRoundTrip pins the two paths to
+// identical output.
 package corpus
 
 import "fmt"

@@ -5,12 +5,14 @@
 package report
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/artifact"
 	"fragdroid/internal/baseline"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/explorer"
@@ -26,6 +28,41 @@ type EvalConfig struct {
 	// simulated device). Zero or one means sequential. Results are
 	// positionally ordered either way, so all derived tables are identical.
 	Parallel int
+	// Cache memoizes app builds and static extractions across runs. Nil
+	// means the process-wide artifact.Default cache.
+	Cache *artifact.Cache
+}
+
+func (cfg EvalConfig) cache() *artifact.Cache {
+	if cfg.Cache != nil {
+		return cfg.Cache
+	}
+	return artifact.Default
+}
+
+// runIndexed calls fn(0..n-1), on up to parallel goroutines when parallel is
+// greater than one. The semaphore is acquired inside each goroutine so the
+// spawning loop never blocks; results are written into index-addressed slots
+// by fn, keeping aggregation order independent of completion order.
+func runIndexed(parallel, n int, fn func(int)) {
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
 }
 
 // DefaultEvalConfig uses the full FragDroid feature set with a generous
@@ -49,52 +86,41 @@ type Evaluation struct {
 }
 
 // RunEvaluation builds the 15 Table I apps and explores each with FragDroid.
-// With cfg.Parallel > 1 the apps run on a pool of simulated devices; the
-// result order (and hence every derived table) is identical to a sequential
-// run because each app's exploration is self-contained and deterministic.
+// Builds and static extractions are memoized through cfg's artifact cache, so
+// repeated runs (ablations, benchmarks) only pay for exploration. With
+// cfg.Parallel > 1 the apps run on a pool of simulated devices; the result
+// order (and hence every derived table) is identical to a sequential run
+// because each app's exploration is self-contained and deterministic. Per-app
+// failures are aggregated with errors.Join rather than reported first-only.
 func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 	rows := corpus.PaperRows()
+	cache := cfg.cache()
 	results := make([]AppResult, len(rows))
 	errs := make([]error, len(rows))
 
-	runOne := func(i int) {
+	runIndexed(cfg.Parallel, len(rows), func(i int) {
 		row := rows[i]
-		app, err := corpus.BuildApp(corpus.PaperSpec(row))
+		spec := corpus.PaperSpec(row)
+		app, err := cache.App(spec)
 		if err != nil {
 			errs[i] = fmt.Errorf("report: build %s: %w", row.Package, err)
 			return
 		}
-		res, err := explorer.Explore(app, cfg.Explorer)
+		ex, err := cache.Extraction(spec)
+		if err != nil {
+			errs[i] = fmt.Errorf("report: extract %s: %w", row.Package, err)
+			return
+		}
+		res, err := explorer.ExploreExtracted(ex, cfg.Explorer)
 		if err != nil {
 			errs[i] = fmt.Errorf("report: explore %s: %w", row.Package, err)
 			return
 		}
 		results[i] = AppResult{Row: row, App: app, Result: res}
-	}
+	})
 
-	if cfg.Parallel <= 1 {
-		for i := range rows {
-			runOne(i)
-		}
-	} else {
-		sem := make(chan struct{}, cfg.Parallel)
-		var wg sync.WaitGroup
-		for i := range rows {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				runOne(i)
-			}(i)
-		}
-		wg.Wait()
-	}
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return &Evaluation{Apps: results}, nil
 }
@@ -199,35 +225,71 @@ func (s StudyResult) FragmentSharePct() float64 {
 	return 100 * float64(s.WithFragments) / float64(s.Analyzable)
 }
 
-// RunStudy performs the 217-app study: build each app archive, attempt
-// decompilation (packed apps fail, as in the paper), and statically scan the
-// class hierarchy for Fragment subclass usage.
+// StudyConfig tunes a fragment-usage study run.
+type StudyConfig struct {
+	// Seed selects the deterministic 217-app dataset variant.
+	Seed int64
+	// Parallel analyzes up to that many apps concurrently. Zero or one means
+	// sequential; results are identical either way (per-app outcomes are
+	// collected positionally and folded in dataset order).
+	Parallel int
+	// Cache memoizes app builds across runs. Nil means artifact.Default.
+	Cache *artifact.Cache
+}
+
+// RunStudy performs the 217-app study sequentially with the default cache.
 func RunStudy(seed int64) (*StudyResult, error) {
-	specs := corpus.StudySpecs(seed)
+	return RunStudyWith(StudyConfig{Seed: seed})
+}
+
+// RunStudyWith performs the §VII-A study: build each app (packed apps fail
+// decompilation, as in the paper) and statically scan the class hierarchy for
+// Fragment subclass usage. Per-app analysis runs on a bounded worker pool
+// when cfg.Parallel > 1; the fold over outcomes is always sequential in
+// dataset order, so counts and the ByCategory breakdown match a serial run
+// exactly.
+func RunStudyWith(cfg StudyConfig) (*StudyResult, error) {
+	specs := corpus.StudySpecs(cfg.Seed)
+	cache := cfg.cacheOrDefault()
+
+	type outcome struct {
+		packed    bool
+		fragments bool
+	}
+	outs := make([]outcome, len(specs))
+	errs := make([]error, len(specs))
+	runIndexed(cfg.Parallel, len(specs), func(i int) {
+		app, err := cache.App(specs[i])
+		if errors.Is(err, apk.ErrPacked) {
+			outs[i].packed = true
+			return
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("report: study build %s: %w", specs[i].Package, err)
+			return
+		}
+		outs[i].fragments = usesFragments(app)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
 	res := &StudyResult{Total: len(specs)}
 	cats := make(map[string]*CategoryStat)
-	for _, spec := range specs {
+	for i, spec := range specs {
 		cat := categoryOf(spec.Package)
 		cs := cats[cat]
 		if cs == nil {
 			cs = &CategoryStat{Category: cat}
 			cats[cat] = cs
 		}
-		arch, err := corpus.BuildArchive(spec)
-		if err != nil {
-			return nil, fmt.Errorf("report: study build %s: %w", spec.Package, err)
-		}
-		app, err := apk.Load(arch)
-		if err == apk.ErrPacked {
+		if outs[i].packed {
 			res.Packed++
 			continue
 		}
-		if err != nil {
-			return nil, fmt.Errorf("report: study load %s: %w", spec.Package, err)
-		}
 		res.Analyzable++
 		cs.Apps++
-		if usesFragments(app) {
+		if outs[i].fragments {
 			res.WithFragments++
 			cs.WithFragments++
 		}
@@ -245,6 +307,13 @@ func RunStudy(seed int64) (*StudyResult, error) {
 		return a.Category < b.Category
 	})
 	return res, nil
+}
+
+func (cfg StudyConfig) cacheOrDefault() *artifact.Cache {
+	if cfg.Cache != nil {
+		return cfg.Cache
+	}
+	return artifact.Default
 }
 
 // categoryOf extracts the study category from a generated package name

@@ -3,6 +3,8 @@ package report
 import (
 	"reflect"
 	"testing"
+
+	"fragdroid/internal/artifact"
 )
 
 // TestParallelEvaluationMatchesSequential checks that running the corpus on
@@ -37,5 +39,65 @@ func TestParallelEvaluationMatchesSequential(t *testing.T) {
 	}
 	if m1.ComputeStats() != m2.ComputeStats() {
 		t.Fatal("parallel stats differ")
+	}
+}
+
+// TestParallelStudyMatchesSequential checks that the 217-app study produces
+// the same StudyResult — including the ByCategory order — on a worker pool
+// as it does serially. Both runs get fresh caches so neither is served warm
+// results from the other.
+func TestParallelStudyMatchesSequential(t *testing.T) {
+	seq, err := RunStudyWith(StudyConfig{Seed: 1, Parallel: 1, Cache: artifact.NewCache()})
+	if err != nil {
+		t.Fatalf("sequential RunStudyWith: %v", err)
+	}
+	par, err := RunStudyWith(StudyConfig{Seed: 1, Parallel: 8, Cache: artifact.NewCache()})
+	if err != nil {
+		t.Fatalf("parallel RunStudyWith: %v", err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel study differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestEvaluationCacheZeroRebuilds checks that a second evaluation against a
+// warmed cache performs no app builds and no static extractions, and that
+// its headline numbers are bit-identical to the first (cold) run.
+func TestEvaluationCacheZeroRebuilds(t *testing.T) {
+	cache := artifact.NewCache()
+	cfg := DefaultEvalConfig()
+	cfg.Cache = cache
+
+	ev1, err := RunEvaluation(cfg)
+	if err != nil {
+		t.Fatalf("cold RunEvaluation: %v", err)
+	}
+	s1 := cache.Stats()
+	if s1.Builds == 0 || s1.Extractions == 0 {
+		t.Fatalf("cold run did no work: %+v", s1)
+	}
+
+	ev2, err := RunEvaluation(cfg)
+	if err != nil {
+		t.Fatalf("warm RunEvaluation: %v", err)
+	}
+	s2 := cache.Stats()
+	if s2.Builds != s1.Builds {
+		t.Errorf("warm run rebuilt apps: %d -> %d builds", s1.Builds, s2.Builds)
+	}
+	if s2.Extractions != s1.Extractions {
+		t.Errorf("warm run re-extracted: %d -> %d extractions", s1.Extractions, s2.Extractions)
+	}
+	if s2.Hits <= s1.Hits {
+		t.Errorf("warm run recorded no cache hits: %+v -> %+v", s1, s2)
+	}
+
+	a1, f1, v1 := ev1.BuildTable1().Averages()
+	a2, f2, v2 := ev2.BuildTable1().Averages()
+	if a1 != a2 || f1 != f2 || v1 != v2 {
+		t.Errorf("cached Table I averages differ: (%v %v %v) vs (%v %v %v)", a1, f1, v1, a2, f2, v2)
+	}
+	if ev1.BuildTable2().ComputeStats() != ev2.BuildTable2().ComputeStats() {
+		t.Error("cached Table II stats differ")
 	}
 }

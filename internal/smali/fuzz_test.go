@@ -26,3 +26,50 @@ func FuzzParseClass(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseProgram feeds two-file programs through the shared-interner parse
+// path. The seeds deliberately repeat class and superclass descriptors across
+// files so the interning branches are exercised; on an accepted program every
+// class must survive a write/reparse round trip.
+func FuzzParseProgram(f *testing.F) {
+	f.Add(
+		".class Lp/A;\n.super Landroid/app/Activity;\n",
+		".class Lp/B;\n.super Landroid/app/Activity;\n",
+	)
+	// Duplicate descriptors across files: B extends A, both reference A.
+	f.Add(
+		".class public Lcom/x/A;\n.super Landroid/app/Activity;\n.method m()V\n    new-intent Lcom/x/A; Lcom/x/B;\n    start-activity\n.end method\n",
+		".class public Lcom/x/B;\n.super Lcom/x/A;\n.method m()V\n    new-intent Lcom/x/B; Lcom/x/A;\n    start-activity\n.end method\n",
+	)
+	// Same class name in both files: must be rejected, not crash.
+	f.Add(
+		".class Lp/A;\n.super Landroid/app/Activity;\n",
+		".class Lp/A;\n.super Landroid/app/Activity;\n",
+	)
+	// Shared access flags, fields, and string escapes across files.
+	f.Add(
+		".class public final Lp/F;\n.super Landroid/app/Fragment;\n.field private x:I\n.method m()V\n    log \"a\\\"b\"\n.end method\n",
+		".class public final Lp/G;\n.super Landroid/app/Fragment;\n.field private x:I\n.method m()V\n    log \"a\\\"b\"\n.end method\n",
+	)
+	f.Fuzz(func(t *testing.T, srcA, srcB string) {
+		files := map[string][]byte{
+			"smali/a.smali": []byte(srcA),
+			"smali/b.smali": []byte(srcB),
+		}
+		p, err := ParseProgram(files)
+		if err != nil {
+			return
+		}
+		for _, name := range p.Names() {
+			c := p.Class(name)
+			out := WriteClass(c)
+			c2, err := ParseClass(c.SourceFile, out)
+			if err != nil {
+				t.Fatalf("writer output rejected for %s: %v\noutput:\n%s", name, err, out)
+			}
+			if c2.Name != c.Name || c2.Super != c.Super || len(c2.Methods) != len(c.Methods) {
+				t.Fatalf("round trip changed %s: %+v vs %+v", name, c2, c)
+			}
+		}
+	})
+}

@@ -1,21 +1,53 @@
 package smali
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
 )
 
+// interner deduplicates strings that repeat across a parse — class
+// descriptors, access flags, method names, resource refs. ParseProgram
+// shares one interner across all files, so e.g. a fragment class name
+// referenced by thirty activities is stored once, not thirty times.
+type interner map[string]string
+
+func newInterner() interner { return make(interner, 64) }
+
+func (in interner) intern(s string) string {
+	if v, ok := in[s]; ok {
+		return v
+	}
+	in[s] = s
+	return s
+}
+
 // ParseClass parses a single .smali file into a Class. sourceFile is recorded
 // for diagnostics and metadata output.
 func ParseClass(sourceFile string, data []byte) (*Class, error) {
+	return parseClass(sourceFile, data, newInterner())
+}
+
+func parseClass(sourceFile string, data []byte, in interner) (*Class, error) {
 	c := &Class{SourceFile: sourceFile}
 	var cur *Method
 
-	lines := strings.Split(string(data), "\n")
-	for ln, raw := range lines {
-		line := ln + 1
-		toks, err := tokenize(raw)
+	var toks []string // token scratch, reused across lines
+	src := string(data)
+	line := 0
+	for start := 0; start <= len(src); {
+		line++
+		var raw string
+		if nl := strings.IndexByte(src[start:], '\n'); nl < 0 {
+			raw = src[start:]
+			start = len(src) + 1
+		} else {
+			raw = src[start : start+nl]
+			start += nl + 1
+		}
+		var err error
+		toks, err = tokenize(raw, toks[:0])
 		if err != nil {
 			return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
 		}
@@ -35,8 +67,8 @@ func ParseClass(sourceFile string, data []byte) (*Class, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
 			}
-			c.Name = name
-			c.Access, err = identList(toks[1 : len(toks)-1])
+			c.Name = in.intern(name)
+			c.Access, err = identList(toks[1:len(toks)-1], in)
 			if err != nil {
 				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
 			}
@@ -49,7 +81,7 @@ func ParseClass(sourceFile string, data []byte) (*Class, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
 			}
-			c.Super = sup
+			c.Super = in.intern(sup)
 
 		case head == ".implements":
 			if len(toks) != 2 {
@@ -59,7 +91,7 @@ func ParseClass(sourceFile string, data []byte) (*Class, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
 			}
-			c.Interfaces = append(c.Interfaces, iface)
+			c.Interfaces = append(c.Interfaces, in.intern(iface))
 
 		case head == ".requires-args":
 			c.RequiresArgs = true
@@ -77,13 +109,13 @@ func ParseClass(sourceFile string, data []byte) (*Class, error) {
 			if !isIdent(fname) {
 				return nil, fmt.Errorf("%s:%d: invalid field name %q", sourceFile, line, fname)
 			}
-			access, err := identList(toks[1 : len(toks)-1])
+			access, err := identList(toks[1:len(toks)-1], in)
 			if err != nil {
 				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
 			}
 			c.Fields = append(c.Fields, Field{
-				Name:       fname,
-				Descriptor: decl[colon+1:],
+				Name:       in.intern(fname),
+				Descriptor: in.intern(decl[colon+1:]),
 				Access:     access,
 			})
 
@@ -105,11 +137,11 @@ func ParseClass(sourceFile string, data []byte) (*Class, error) {
 			if c.Method(name) != nil {
 				return nil, fmt.Errorf("%s:%d: duplicate method %s", sourceFile, line, name)
 			}
-			access, err := identList(toks[1 : len(toks)-1])
+			access, err := identList(toks[1:len(toks)-1], in)
 			if err != nil {
 				return nil, fmt.Errorf("%s:%d: %w", sourceFile, line, err)
 			}
-			cur = &Method{Name: name, Access: access}
+			cur = &Method{Name: in.intern(name), Access: access}
 
 		case head == ".end":
 			if len(toks) != 2 || toks[1] != "method" {
@@ -128,7 +160,7 @@ func ParseClass(sourceFile string, data []byte) (*Class, error) {
 			if cur == nil {
 				return nil, fmt.Errorf("%s:%d: instruction %q outside a method", sourceFile, line, head)
 			}
-			ins, err := parseInstr(toks, line)
+			ins, err := parseInstr(toks, line, in)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", sourceFile, err)
 			}
@@ -164,22 +196,26 @@ func isIdent(s string) bool {
 	return true
 }
 
-// identList validates a slice of access-flag tokens.
-func identList(toks []string) ([]string, error) {
+// identList validates a slice of access-flag tokens, interning each (the
+// same few modifiers repeat on every declaration).
+func identList(toks []string, in interner) ([]string, error) {
+	if len(toks) == 0 {
+		return nil, nil
+	}
 	out := make([]string, 0, len(toks))
 	for _, t := range toks {
 		if !isIdent(t) {
 			return nil, fmt.Errorf("invalid modifier %q", t)
 		}
-		out = append(out, t)
+		out = append(out, in.intern(t))
 	}
 	return out, nil
 }
 
 // parseInstr converts a token line into a validated instruction. Type
 // descriptors are normalized to dotted class names.
-func parseInstr(toks []string, line int) (Instr, error) {
-	op := Op(toks[0])
+func parseInstr(toks []string, line int, in interner) (Instr, error) {
+	op := Op(in.intern(toks[0]))
 	args := make([]string, 0, len(toks)-1)
 	for _, t := range toks[1:] {
 		if len(t) >= 3 && t[0] == 'L' && t[len(t)-1] == ';' {
@@ -187,10 +223,10 @@ func parseInstr(toks []string, line int) (Instr, error) {
 			if err != nil {
 				return Instr{}, fmt.Errorf("line %d: %w", line, err)
 			}
-			args = append(args, dotted)
+			args = append(args, in.intern(dotted))
 			continue
 		}
-		args = append(args, t)
+		args = append(args, in.intern(t))
 	}
 	ins := Instr{Op: op, Args: args, Line: line}
 	if err := ins.validate(); err != nil {
@@ -200,73 +236,86 @@ func parseInstr(toks []string, line int) (Instr, error) {
 }
 
 // tokenize splits a source line into tokens, honouring double quotes and '#'
-// comments. Quoted tokens are returned unquoted.
-func tokenize(raw string) ([]string, error) {
-	var toks []string
-	var cur strings.Builder
-	inQuote := false
-	haveTok := false
-	flush := func() {
-		if haveTok {
-			toks = append(toks, cur.String())
-			cur.Reset()
-			haveTok = false
-		}
-	}
-	for i := 0; i < len(raw); i++ {
-		ch := raw[i]
-		switch {
-		case inQuote:
-			switch ch {
-			case '"':
-				inQuote = false
-				flush()
-			case '\\':
-				if i+1 < len(raw) {
+// comments, appending to toks (a caller-owned scratch slice). Quoted tokens
+// are returned unquoted. Tokens are substrings of raw; only quoted tokens
+// containing escapes are copied through a builder.
+func tokenize(raw string, toks []string) ([]string, error) {
+	i := 0
+	for i < len(raw) {
+		switch ch := raw[i]; {
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			i++
+
+		case ch == '#':
+			return toks, nil
+
+		case ch == '"':
+			i++
+			start := i
+			for i < len(raw) && raw[i] != '"' && raw[i] != '\\' {
+				i++
+			}
+			if i < len(raw) && raw[i] == '"' {
+				toks = append(toks, raw[start:i]) // empty strings are valid tokens
+				i++
+				continue
+			}
+			// Escaped (or unterminated) literal: build the unescaped token.
+			var b strings.Builder
+			b.WriteString(raw[start:i])
+			for closed := false; !closed; {
+				if i >= len(raw) {
+					return nil, fmt.Errorf("unterminated string literal")
+				}
+				switch c := raw[i]; c {
+				case '"':
+					closed = true
+					i++
+				case '\\':
+					if i+1 >= len(raw) {
+						return nil, fmt.Errorf("dangling escape")
+					}
 					i++
 					switch raw[i] {
 					case 'n':
-						cur.WriteByte('\n')
+						b.WriteByte('\n')
 					case 't':
-						cur.WriteByte('\t')
+						b.WriteByte('\t')
 					case '"':
-						cur.WriteByte('"')
+						b.WriteByte('"')
 					case '\\':
-						cur.WriteByte('\\')
+						b.WriteByte('\\')
 					default:
 						return nil, fmt.Errorf("bad escape \\%c", raw[i])
 					}
-				} else {
-					return nil, fmt.Errorf("dangling escape")
+					i++
+				default:
+					b.WriteByte(c)
+					i++
 				}
-			default:
-				cur.WriteByte(ch)
 			}
-		case ch == '"':
-			flush()
-			inQuote = true
-			haveTok = true // empty strings are valid tokens
-		case ch == '#':
-			flush()
-			return toks, nil
-		case ch == ' ' || ch == '\t' || ch == '\r':
-			flush()
+			toks = append(toks, b.String())
+
 		default:
-			cur.WriteByte(ch)
-			haveTok = true
+			start := i
+			for i < len(raw) {
+				c := raw[i]
+				if c == ' ' || c == '\t' || c == '\r' || c == '"' || c == '#' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, raw[start:i])
 		}
 	}
-	if inQuote {
-		return nil, fmt.Errorf("unterminated string literal")
-	}
-	flush()
 	return toks, nil
 }
 
 // WriteClass renders a class back to .smali source. The output round-trips
 // through ParseClass.
 func WriteClass(c *Class) []byte {
-	var b strings.Builder
+	var b bytes.Buffer
+	b.Grow(256)
 	b.WriteString(".class ")
 	for _, a := range c.Access {
 		b.WriteString(a)
@@ -312,11 +361,13 @@ func WriteClass(c *Class) []byte {
 		}
 		b.WriteString(".end method\n")
 	}
-	return []byte(b.String())
+	return b.Bytes()
 }
 
 // ParseProgram parses multiple files (path -> contents) into a validated
-// Program. Files are processed in sorted-path order for determinism.
+// Program. Files are processed in sorted-path order for determinism. One
+// interner is shared across all files, so descriptors repeated between
+// classes (superclasses, fragment targets, access flags) are stored once.
 func ParseProgram(files map[string][]byte) (*Program, error) {
 	p := NewProgram()
 	paths := make([]string, 0, len(files))
@@ -324,8 +375,9 @@ func ParseProgram(files map[string][]byte) (*Program, error) {
 		paths = append(paths, path)
 	}
 	sort.Strings(paths)
+	in := newInterner()
 	for _, path := range paths {
-		c, err := ParseClass(path, files[path])
+		c, err := parseClass(path, files[path], in)
 		if err != nil {
 			return nil, err
 		}

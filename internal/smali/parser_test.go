@@ -120,7 +120,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestTokenize(t *testing.T) {
-	toks, err := tokenize(`  put-extra "user name" "a\"b\\c"  # trailing comment`)
+	toks, err := tokenize(`  put-extra "user name" "a\"b\\c"  # trailing comment`, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,11 +128,11 @@ func TestTokenize(t *testing.T) {
 	if !reflect.DeepEqual(toks, want) {
 		t.Fatalf("toks = %q, want %q", toks, want)
 	}
-	toks, err = tokenize(`log ""`)
+	toks, err = tokenize(`log ""`, nil)
 	if err != nil || len(toks) != 2 || toks[1] != "" {
 		t.Fatalf("empty string token: %q, %v", toks, err)
 	}
-	if toks, _ := tokenize("# full comment line"); len(toks) != 0 {
+	if toks, _ := tokenize("# full comment line", nil); len(toks) != 0 {
 		t.Fatalf("comment line: %q", toks)
 	}
 }

@@ -93,6 +93,43 @@ type Class struct {
 	SourceFile string
 }
 
+// Check validates a programmatically constructed class the way the parser
+// validates source: required directives, identifier-shaped member names, no
+// duplicate methods, and per-instruction operand shapes. Classes that come
+// out of ParseClass always pass.
+func (c *Class) Check() error {
+	if c.Name == "" {
+		return fmt.Errorf("smali: class with empty name")
+	}
+	if c.Super == "" {
+		return fmt.Errorf("smali: class %s missing superclass", c.Name)
+	}
+	for _, f := range c.Fields {
+		if !isIdent(f.Name) {
+			return fmt.Errorf("smali: class %s: invalid field name %q", c.Name, f.Name)
+		}
+		if f.Descriptor == "" {
+			return fmt.Errorf("smali: class %s: field %s without descriptor", c.Name, f.Name)
+		}
+	}
+	seen := make(map[string]bool, len(c.Methods))
+	for _, m := range c.Methods {
+		if !isIdent(m.Name) {
+			return fmt.Errorf("smali: class %s: invalid method name %q", c.Name, m.Name)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("smali: class %s: duplicate method %s", c.Name, m.Name)
+		}
+		seen[m.Name] = true
+		for _, ins := range m.Body {
+			if err := ins.validate(); err != nil {
+				return fmt.Errorf("smali: class %s method %s: %w", c.Name, m.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
 // Method returns the named method, or nil.
 func (c *Class) Method(name string) *Method {
 	for _, m := range c.Methods {
