@@ -29,6 +29,7 @@ import (
 	"fragdroid/internal/explorer"
 	"fragdroid/internal/inputgen"
 	"fragdroid/internal/report"
+	"fragdroid/internal/session"
 	"fragdroid/internal/smali"
 	"fragdroid/internal/statics"
 )
@@ -528,4 +529,44 @@ func BenchmarkExploreDemo(b *testing.B) {
 		cases = res.TestCases
 	}
 	b.ReportMetric(float64(cases), "test-cases")
+}
+
+// S1 — session-runtime tracing overhead: one corpus app explored with a
+// no-op observer attached versus full event buffering. The trace layer is
+// designed to stay within a few percent of the untraced hot path (typed
+// events are only constructed while an observer is attached).
+func BenchmarkSessionOverhead(b *testing.B) {
+	app, err := corpus.BuildApp(corpus.PaperSpec(corpus.PaperRows()[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := explorer.Explore(app, explorer.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("noop-observer", func(b *testing.B) {
+		cfg := explorer.DefaultConfig()
+		cfg.Observer = session.ObserverFunc(func(session.Event) {})
+		for i := 0; i < b.N; i++ {
+			if _, err := explorer.Explore(app, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("buffered", func(b *testing.B) {
+		var events float64
+		for i := 0; i < b.N; i++ {
+			cfg := explorer.DefaultConfig()
+			buf := &session.TraceBuffer{}
+			cfg.Observer = buf
+			if _, err := explorer.Explore(app, cfg); err != nil {
+				b.Fatal(err)
+			}
+			events = float64(buf.Len())
+		}
+		b.ReportMetric(events, "events")
+	})
 }

@@ -17,6 +17,7 @@ import (
 	"fragdroid/internal/apk"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/explorer"
+	"fragdroid/internal/session"
 	"fragdroid/internal/statics"
 )
 
@@ -32,6 +33,7 @@ func run(args []string) error {
 	var (
 		appArg   = fs.String("app", "demo", "corpus app name or path to a .sapk archive")
 		explored = fs.Bool("explored", false, "run the full exploration and mark visited nodes")
+		trace    = fs.String("trace", "", "write the exploration's structured trace as JSON to this file (implies -explored)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,12 +42,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *explored {
-		res, err := explorer.Explore(app, explorer.DefaultConfig())
+	if *explored || *trace != "" {
+		cfg := explorer.DefaultConfig()
+		var buf *session.TraceBuffer
+		if *trace != "" {
+			buf = &session.TraceBuffer{}
+			cfg.Observer = buf
+		}
+		res, err := explorer.Explore(app, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Model.DOT(app.Manifest.Package + " (explored)"))
+		if buf != nil {
+			data, err := buf.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*trace, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	ex, err := statics.Extract(app)

@@ -16,6 +16,8 @@ import (
 
 	"fragdroid/internal/apk"
 	"fragdroid/internal/corpus"
+	"fragdroid/internal/robotium"
+	"fragdroid/internal/session"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func run(args []string) error {
 		which = fs.String("corpus", "paper", "which corpus: demo, paper, study")
 		seed  = fs.Int64("seed", 1, "seed for the study corpus shapes")
 		quiet = fs.Bool("q", false, "suppress per-file output")
+		trace = fs.String("trace", "", "boot each generated app once and write the launch traces as JSON to this file (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,10 @@ func run(args []string) error {
 		return fmt.Errorf("unknown corpus %q", *which)
 	}
 
+	var buf *session.TraceBuffer
+	if *trace != "" {
+		buf = &session.TraceBuffer{}
+	}
 	for _, spec := range specs {
 		arch, err := corpus.BuildArchive(spec)
 		if err != nil {
@@ -64,11 +71,43 @@ func run(args []string) error {
 		if err := writeArchive(arch, path); err != nil {
 			return err
 		}
+		if buf != nil {
+			if err := smokeBoot(spec, buf); err != nil {
+				return fmt.Errorf("smoke boot %s: %w", spec.Package, err)
+			}
+		}
 		if !*quiet {
 			fmt.Printf("wrote %s (%d entries)\n", path, arch.Len())
 		}
 	}
 	fmt.Printf("%d app archives written to %s\n", len(specs), *out)
+	if buf == nil {
+		return nil
+	}
+	data, err := buf.JSON()
+	if err != nil {
+		return err
+	}
+	if *trace == "-" {
+		fmt.Println(string(data))
+		return nil
+	}
+	return os.WriteFile(*trace, append(data, '\n'), 0o644)
+}
+
+// smokeBoot launches a generated app once in a traced single-test-case
+// session — an archive smoke test whose structured events land in buf.
+func smokeBoot(spec *corpus.AppSpec, buf *session.TraceBuffer) error {
+	app, err := corpus.BuildApp(spec)
+	if err != nil {
+		return err
+	}
+	s := session.New(app, session.Options{Budget: 1, AutoDismiss: true, Observer: buf})
+	launch := robotium.Script{Name: "smoke_launch", Ops: []robotium.Op{robotium.LaunchMain()}}
+	_, res, _ := s.RunScript(launch, session.PurposeProbe)
+	if res.Err != nil {
+		return res.Err
+	}
 	return nil
 }
 

@@ -20,12 +20,12 @@ import (
 
 	"fragdroid/internal/apk"
 	"fragdroid/internal/corpus"
-	"fragdroid/internal/device"
 	"fragdroid/internal/explorer"
 	"fragdroid/internal/jdcore"
 	"fragdroid/internal/report"
 	"fragdroid/internal/robotium"
 	"fragdroid/internal/sensitive"
+	"fragdroid/internal/session"
 	"fragdroid/internal/statics"
 )
 
@@ -53,6 +53,7 @@ func run(args []string) error {
 		curveCSV     = fs.Bool("curve", false, "append the coverage-vs-test-case curve as CSV")
 		runTest      = fs.String("run-test", "", "execute a stored test-case JSON file on the app and exit")
 		target       = fs.String("target", "", "targeted mode: drive the app until this sensitive API fires (e.g. location/getProviders)")
+		tracePath    = fs.String("trace", "", "write the structured trace events as JSON to this file (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,14 +91,25 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	var trace *session.TraceBuffer
+	if *tracePath != "" {
+		trace = &session.TraceBuffer{}
+	}
+
 	if *runTest != "" {
-		return replayTest(app, *runTest)
+		if err := replayTest(app, *runTest, trace); err != nil {
+			return err
+		}
+		return writeTrace(*tracePath, trace)
 	}
 
 	cfg := explorer.DefaultConfig()
 	cfg.UseReflection = !*noReflection
 	cfg.UseForcedStart = !*noForced
 	cfg.MaxTestCases = *maxCases
+	if trace != nil {
+		cfg.Observer = trace
+	}
 	if *inputsPath != "" {
 		data, err := os.ReadFile(*inputsPath)
 		if err != nil {
@@ -120,7 +132,7 @@ func run(args []string) error {
 			return err
 		}
 		printTargetResult(tr)
-		return nil
+		return writeTrace(*tracePath, trace)
 	}
 
 	res, err := explorer.Explore(app, cfg)
@@ -143,12 +155,29 @@ func run(args []string) error {
 			fmt.Printf("%d,%d,%d\n", p.TestCase, p.Activities, p.Fragments)
 		}
 	}
-	return nil
+	return writeTrace(*tracePath, trace)
 }
 
-// replayTest loads a stored test-case JSON file and executes it on a fresh
-// device, reporting the landing state.
-func replayTest(app *apk.App, path string) error {
+// writeTrace dumps the collected structured events as a JSON array; "-"
+// writes to stdout. A nil buffer (no -trace flag) is a no-op.
+func writeTrace(path string, buf *session.TraceBuffer) error {
+	if buf == nil {
+		return nil
+	}
+	data, err := buf.JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		fmt.Println(string(data))
+		return nil
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// replayTest loads a stored test-case JSON file and executes it as one
+// session test case on a fresh device, reporting the landing state.
+func replayTest(app *apk.App, path string, trace *session.TraceBuffer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -157,8 +186,14 @@ func replayTest(app *apk.App, path string) error {
 	if err != nil {
 		return err
 	}
-	d := device.New(app, device.Options{})
-	res := robotium.Run(d, script, robotium.Options{AutoDismiss: true})
+	opts := session.Options{AutoDismiss: true}
+	if trace != nil {
+		// Assign only a non-nil buffer: a nil *TraceBuffer in the interface
+		// field would read as an attached observer.
+		opts.Observer = trace
+	}
+	s := session.New(app, opts)
+	d, res, _ := s.RunScript(script, session.PurposeProbe)
 	fmt.Printf("executed %d/%d ops\n", res.Executed, len(script.Ops))
 	if res.Err != nil {
 		return fmt.Errorf("test failed at %q: %w", res.FailedOp, res.Err)

@@ -9,9 +9,12 @@
 //	fragstudy -table1           # the Table I coverage run (15 apps)
 //	fragstudy -table2           # the Table II sensitive-operations matrix
 //	fragstudy -compare          # FragDroid vs Activity-level MBT vs Monkey
+//	fragstudy -table1 -metrics  # + the per-app session counter table
+//	fragstudy -table1 -trace t.json  # dump the structured event trace
 //
-// -parallel applies to every mode and defaults to the machine's CPU count;
-// results are deterministic and identical to a sequential run.
+// -parallel applies to every mode (it must be at least 1) and defaults to
+// the machine's CPU count; results are deterministic and identical to a
+// sequential run.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"runtime"
 
 	"fragdroid/internal/report"
+	"fragdroid/internal/session"
 )
 
 func main() {
@@ -39,13 +43,25 @@ func run(args []string) error {
 		table2   = fs.Bool("table2", false, "run the Table II sensitive-operations evaluation")
 		compare  = fs.Bool("compare", false, "run the baseline comparison")
 		gap      = fs.Bool("gap", false, "run the static-vs-dynamic sensitive-site comparison")
+		metrics  = fs.Bool("metrics", false, "with -table1/-table2: also print the per-app run-metrics table")
+		trace    = fs.String("trace", "", "write the structured trace events of evaluation runs as JSON to this file (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
+	}
 
 	cfg := report.DefaultEvalConfig()
 	cfg.Parallel = *parallel
+	var buf *session.TraceBuffer
+	if *trace != "" {
+		// One thread-safe buffer sinks the whole (possibly parallel) corpus
+		// run; events carry the app package for demultiplexing.
+		buf = &session.TraceBuffer{}
+		cfg.Explorer.Observer = buf
+	}
 
 	if *table1 || *table2 || *gap {
 		ev, err := report.RunEvaluation(cfg)
@@ -61,7 +77,10 @@ func run(args []string) error {
 		if *gap {
 			fmt.Println(report.RenderGap(ev.StaticDynamicGap()))
 		}
-		return nil
+		if *metrics {
+			fmt.Println(report.RenderRunMetrics(ev))
+		}
+		return writeTrace(*trace, buf)
 	}
 	if *compare {
 		cmp, err := report.RunComparison(cfg, 7, 1500)
@@ -69,7 +88,7 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(report.RenderComparison(cmp))
-		return nil
+		return writeTrace(*trace, buf)
 	}
 
 	res, err := report.RunStudyWith(report.StudyConfig{Seed: *seed, Parallel: *parallel})
@@ -78,4 +97,21 @@ func run(args []string) error {
 	}
 	fmt.Println(report.RenderStudy(res))
 	return nil
+}
+
+// writeTrace dumps the collected structured events as a JSON array; "-"
+// writes to stdout. A nil buffer (no -trace flag) is a no-op.
+func writeTrace(path string, buf *session.TraceBuffer) error {
+	if buf == nil {
+		return nil
+	}
+	data, err := buf.JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		fmt.Println(string(data))
+		return nil
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunStudy(t *testing.T) {
 	if err := run(nil); err != nil {
@@ -23,5 +28,31 @@ func TestRunCompare(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("bad flag: want error")
+	}
+}
+
+func TestRunRejectsBadParallel(t *testing.T) {
+	for _, v := range []string{"0", "-3"} {
+		err := run([]string{"-parallel", v})
+		if err == nil {
+			t.Fatalf("-parallel %s: want error, got nil", v)
+		}
+		if !strings.Contains(err.Error(), "-parallel must be at least 1") {
+			t.Fatalf("-parallel %s: unhelpful error %q", v, err)
+		}
+	}
+}
+
+func TestRunTableWithMetricsAndTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-table1", "-metrics", "-trace", path}); err != nil {
+		t.Fatalf("run -table1 -metrics -trace: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "[") || !strings.Contains(string(data), `"script_run"`) {
+		t.Fatal("trace file does not look like a JSON event array")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fragdroid/internal/device"
 	"fragdroid/internal/robotium"
 	"fragdroid/internal/sensitive"
+	"fragdroid/internal/session"
 )
 
 // Result reports a baseline run. Fragment-level crediting is intentionally
@@ -29,13 +30,9 @@ type Result struct {
 	VisitedActivities []string
 	// Collector holds the sensitive-API observations.
 	Collector *sensitive.Collector
-	// TestCases counts device sessions (ActivityExplorer) or injected event
-	// batches (Monkey).
-	TestCases int
-	// Steps is the accumulated device work.
-	Steps int
-	// Crashes counts force-closes.
-	Crashes int
+	// Stats carries the session counters (TestCases counts device sessions
+	// for ActivityExplorer, injected event batches for Monkey).
+	session.Stats
 	// Transcript is the run log.
 	Transcript []string
 }
@@ -52,6 +49,9 @@ type ActivityConfig struct {
 	UseForcedStart bool
 	// MaxTestCases bounds device sessions. Zero means 600.
 	MaxTestCases int
+	// Observer receives the run's structured trace events (nil disables
+	// tracing).
+	Observer session.Observer
 }
 
 // DefaultActivityConfig mirrors the explorer defaults minus fragment powers.
@@ -60,15 +60,11 @@ func DefaultActivityConfig() ActivityConfig {
 }
 
 type actEngine struct {
-	app       *apk.App
-	cfg       ActivityConfig
-	collector *sensitive.Collector
-	visited   map[string]robotium.Script
-	queue     []string
-	testCases int
-	steps     int
-	crashes   int
-	log       []string
+	app     *apk.App
+	cfg     ActivityConfig
+	s       *session.Session
+	visited map[string]robotium.Script
+	queue   []string
 }
 
 // ExploreActivities runs the Activity-level baseline on a loaded app.
@@ -77,11 +73,15 @@ func ExploreActivities(app *apk.App, cfg ActivityConfig) (*Result, error) {
 		cfg.MaxTestCases = 600
 	}
 	e := &actEngine{
-		app:       app,
-		cfg:       cfg,
-		collector: sensitive.NewCollector(app.Manifest.Package),
-		visited:   make(map[string]robotium.Script),
+		app:     app,
+		cfg:     cfg,
+		visited: make(map[string]robotium.Script),
 	}
+	e.s = session.New(app, session.Options{
+		Budget:      cfg.MaxTestCases,
+		AutoDismiss: true,
+		Observer:    cfg.Observer,
+	})
 	if err := e.run(); err != nil {
 		return nil, err
 	}
@@ -92,32 +92,10 @@ func ExploreActivities(app *apk.App, cfg ActivityConfig) (*Result, error) {
 	sort.Strings(acts)
 	return &Result{
 		VisitedActivities: acts,
-		Collector:         e.collector,
-		TestCases:         e.testCases,
-		Steps:             e.steps,
-		Crashes:           e.crashes,
-		Transcript:        e.log,
+		Collector:         e.s.Collector(),
+		Stats:             e.s.Stats(),
+		Transcript:        e.s.Transcript(),
 	}, nil
-}
-
-func (e *actEngine) logf(format string, args ...any) {
-	e.log = append(e.log, fmt.Sprintf(format, args...))
-}
-
-func (e *actEngine) runScript(s robotium.Script) (*device.Device, robotium.Result, bool) {
-	if e.testCases >= e.cfg.MaxTestCases {
-		return nil, robotium.Result{}, false
-	}
-	e.testCases++
-	d := device.New(e.app, device.Options{Monitor: func(ev device.SensitiveEvent) {
-		e.collector.Observe(sensitive.Event(ev))
-	}})
-	res := robotium.Run(d, s, robotium.Options{AutoDismiss: true})
-	e.steps += d.Steps()
-	if res.Crashed {
-		e.crashes++
-	}
-	return d, res, true
 }
 
 func (e *actEngine) visit(activity string, route robotium.Script) {
@@ -126,12 +104,14 @@ func (e *actEngine) visit(activity string, route robotium.Script) {
 	}
 	e.visited[activity] = route
 	e.queue = append(e.queue, activity)
-	e.logf("visited activity %s (%d ops)", activity, len(route.Ops))
+	e.s.Trace(session.Event{Kind: session.KindVisit, Activity: activity,
+		Script: route.Name, Ops: len(route.Ops),
+		Msg: fmt.Sprintf("visited activity %s (%d ops)", activity, len(route.Ops))})
 }
 
 func (e *actEngine) run() error {
 	launch := robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}}
-	d, res, _ := e.runScript(launch)
+	d, res, _ := e.s.RunScript(launch, session.PurposeLaunch)
 	if res.Err != nil {
 		return fmt.Errorf("baseline: launch failed: %w", res.Err)
 	}
@@ -143,16 +123,16 @@ func (e *actEngine) run() error {
 
 	for {
 		progressed := false
-		for len(e.queue) > 0 && e.testCases < e.cfg.MaxTestCases {
+		for len(e.queue) > 0 && !e.s.Exhausted() {
 			a := e.queue[0]
 			e.queue = e.queue[1:]
 			e.exploreActivity(a)
 			progressed = true
 		}
-		if e.cfg.UseForcedStart && e.testCases < e.cfg.MaxTestCases && e.forcedPass() {
+		if e.cfg.UseForcedStart && !e.s.Exhausted() && e.forcedPass() {
 			progressed = true
 		}
-		if !progressed || e.testCases >= e.cfg.MaxTestCases {
+		if !progressed || e.s.Exhausted() {
 			return nil
 		}
 	}
@@ -163,7 +143,7 @@ func (e *actEngine) run() error {
 // change fragments or visibility.
 func (e *actEngine) exploreActivity(activity string) {
 	route := e.visited[activity]
-	d, res, ok := e.runScript(route)
+	d, res, ok := e.s.RunScript(route, session.PurposeReplay)
 	if !ok || res.Err != nil {
 		return
 	}
@@ -175,13 +155,13 @@ func (e *actEngine) exploreActivity(activity string) {
 		return
 	}
 	clickables := dump.ClickableRefs()
-	e.logf("activity %s: %d clickable widgets", activity, len(clickables))
+	e.s.Notef("activity %s: %d clickable widgets", activity, len(clickables))
 
 	needReplay := false
 	for _, ref := range clickables {
 		if needReplay {
 			var ok bool
-			d, res, ok = e.runScript(route)
+			d, res, ok = e.s.RunScript(route, session.PurposeReplay)
 			if !ok || res.Err != nil {
 				return
 			}
@@ -199,7 +179,7 @@ func (e *actEngine) exploreActivity(activity string) {
 			continue
 		}
 		if d.Crashed() {
-			e.crashes++
+			e.s.MarkCrash(d.CrashReason(), robotium.Script{})
 			needReplay = true
 			continue
 		}
@@ -233,9 +213,13 @@ func (e *actEngine) fillInputs(d *device.Device) []robotium.Op {
 		if val == "" {
 			continue
 		}
+		ev := session.Event{Kind: session.KindInputFill, Ref: ref, Value: val}
 		if err := d.EnterText(ref, val); err == nil {
 			ops = append(ops, robotium.EnterText(ref, val))
+		} else {
+			ev.Err = err.Error()
 		}
+		e.s.Trace(ev)
 	}
 	return ops
 }
@@ -247,19 +231,22 @@ func (e *actEngine) forcedPass() bool {
 		if _, seen := e.visited[a]; seen {
 			continue
 		}
-		if e.testCases >= e.cfg.MaxTestCases {
+		if e.s.Exhausted() {
 			break
 		}
 		s := robotium.Script{Name: "force_" + a, Ops: []robotium.Op{robotium.ForceStart(a)}}
-		d, res, ok := e.runScript(s)
+		d, res, ok := e.s.RunScript(s, session.PurposeForcedStart)
 		if !ok {
 			break
 		}
 		if res.Err != nil {
-			e.logf("forced start of %s failed: %v", a, res.Err)
+			e.s.Trace(session.Event{Kind: session.KindForcedStart, Activity: a,
+				Err: res.Err.Error(),
+				Msg: fmt.Sprintf("forced start of %s failed: %v", a, res.Err)})
 			continue
 		}
 		if cur, err := d.CurrentActivity(); err == nil {
+			e.s.Trace(session.Event{Kind: session.KindForcedStart, Activity: a})
 			e.visit(cur, s)
 			progressed = true
 		}

@@ -6,8 +6,8 @@ import (
 	"sort"
 
 	"fragdroid/internal/apk"
-	"fragdroid/internal/device"
-	"fragdroid/internal/sensitive"
+	"fragdroid/internal/robotium"
+	"fragdroid/internal/session"
 )
 
 // MonkeyConfig tunes the random tester.
@@ -19,6 +19,9 @@ type MonkeyConfig struct {
 	// SystemEvents additionally injects broadcasts the app's receivers
 	// subscribe to (Dynodroid-style "UI and system events", §IX).
 	SystemEvents bool
+	// Observer receives the run's structured trace events (nil disables
+	// tracing).
+	Observer session.Observer
 }
 
 // randomWords feed the monkey's text entry; none of them unlock input gates,
@@ -32,21 +35,18 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 	if cfg.Events == 0 {
 		cfg.Events = 2000
 	}
-	collector := sensitive.NewCollector(app.Manifest.Package)
-	d := device.New(app, device.Options{Monitor: func(ev device.SensitiveEvent) {
-		collector.Observe(sensitive.Event(ev))
-	}})
+	s := session.New(app, session.Options{Observer: cfg.Observer})
+	d := s.NewDevice()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	visited := make(map[string]bool)
-	var log []string
-	crashes := 0
 	restarts := 0
 
 	observe := func() {
 		if cur, err := d.CurrentActivity(); err == nil && !visited[cur] {
 			visited[cur] = true
-			log = append(log, fmt.Sprintf("monkey reached %s", cur))
+			s.Trace(session.Event{Kind: session.KindVisit, Activity: cur,
+				Msg: fmt.Sprintf("monkey reached %s", cur)})
 		}
 	}
 
@@ -58,7 +58,7 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 	for i := 0; i < cfg.Events; i++ {
 		if d.Crashed() || !d.Running() {
 			if d.Crashed() {
-				crashes++
+				s.MarkCrash(d.CrashReason(), robotium.Script{})
 			}
 			restarts++
 			if err := d.LaunchMain(); err != nil {
@@ -103,13 +103,13 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 		acts = append(acts, a)
 	}
 	sort.Strings(acts)
-	log = append(log, fmt.Sprintf("monkey done: %d events, %d crashes, %d restarts", cfg.Events, crashes, restarts))
+	s.AddTestCases(cfg.Events)
+	s.AddSteps(d.Steps())
+	s.Notef("monkey done: %d events, %d crashes, %d restarts", cfg.Events, s.Stats().Crashes, restarts)
 	return &Result{
 		VisitedActivities: acts,
-		Collector:         collector,
-		TestCases:         cfg.Events,
-		Steps:             d.Steps(),
-		Crashes:           crashes,
-		Transcript:        log,
+		Collector:         s.Collector(),
+		Stats:             s.Stats(),
+		Transcript:        s.Transcript(),
 	}, nil
 }

@@ -64,6 +64,11 @@ type SensitiveEvent struct {
 type Options struct {
 	// Monitor receives sensitive-API events; nil disables monitoring.
 	Monitor func(SensitiveEvent)
+	// Hook receives every device-log line as it is written — the trace hook
+	// an exploration session uses to forward device activity to its
+	// structured event stream. Nil disables forwarding; the internal log is
+	// kept either way.
+	Hook func(line string)
 	// MaxStartDepth bounds nested activity starts within one event to break
 	// pathological onCreate→startActivity cycles (treated as an ANR crash).
 	// Zero means the default of 16.
@@ -153,7 +158,11 @@ func (d *Device) Steps() int { return d.steps }
 func (d *Device) Events() []string { return append([]string(nil), d.events...) }
 
 func (d *Device) logf(format string, args ...any) {
-	d.events = append(d.events, fmt.Sprintf(format, args...))
+	line := fmt.Sprintf(format, args...)
+	d.events = append(d.events, line)
+	if d.opts.Hook != nil {
+		d.opts.Hook(line)
+	}
 }
 
 // Crashed reports whether the app is force-closed; CrashReason says why.

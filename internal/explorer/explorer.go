@@ -19,6 +19,7 @@ import (
 	"fragdroid/internal/inputgen"
 	"fragdroid/internal/robotium"
 	"fragdroid/internal/sensitive"
+	"fragdroid/internal/session"
 	"fragdroid/internal/statics"
 )
 
@@ -48,6 +49,9 @@ type Config struct {
 	// kill-and-restart discipline; this engineering optimization trades
 	// paper fidelity for fewer test cases and is off by default).
 	UseBackNavigation bool
+	// Observer receives the run's structured trace events (nil disables
+	// tracing; the transcript and counters are produced regardless).
+	Observer session.Observer
 
 	// haltOnAPI stops the run as soon as the named sensitive API is observed
 	// (set by ExploreTarget).
@@ -105,11 +109,9 @@ type Result struct {
 	// security information, such as sensitive APIs and potential
 	// vulnerabilities", §X).
 	CrashReports []CrashReport
-	// TestCases counts executed test cases; Steps the device work.
-	TestCases int
-	Steps     int
-	// Crashes counts force-closes observed during the run.
-	Crashes int
+	// Stats carries the session counters (TestCases, Steps, Crashes,
+	// Replays, ReflectionAttempts, ForcedStarts, …) promoted as fields.
+	session.Stats
 	// Transcript is a human-readable run log.
 	Transcript []string
 }
@@ -163,15 +165,17 @@ func (r *Result) FragmentsInVisitedActivities() (visited, sum int) {
 	return visited, sum
 }
 
-// engine is the run state.
+// engine is the run state: the AFTM evolution and queue discipline. All
+// harness mechanics (budget, devices, crash triage, curve, transcript) live
+// in the embedded exploration session.
 type engine struct {
 	app *apk.App
 	ex  *statics.Extraction
 	cfg Config
+	s   *session.Session
 
-	model     *aftm.Model
-	visits    map[aftm.Node]Visit
-	collector *sensitive.Collector
+	model  *aftm.Model
+	visits map[aftm.Node]Visit
 
 	// hints maps input-widget refs to their hint text (for InputGen).
 	hints map[string]string
@@ -181,32 +185,13 @@ type engine struct {
 	reflected map[string]bool
 	// worklist holds interfaces awaiting Case 3 exploration.
 	worklist []workItem
-
-	testCases    int
-	steps        int
-	crashes      int
-	curve        []CurvePoint
-	crashReports []CrashReport
-	crashSeen    map[string]bool
-	log          []string
 }
 
 // CrashReport is one distinct force-close with a route that reproduces it.
-type CrashReport struct {
-	// Reason is the FC message (exception-style).
-	Reason string
-	// Route is the operation list whose execution crashed the app.
-	Route robotium.Script
-}
+type CrashReport = session.CrashReport
 
 // CurvePoint is one sample of the coverage curve.
-type CurvePoint struct {
-	// TestCase is the cumulative number of executed test cases.
-	TestCase int
-	// Activities and Fragments are cumulative visited counts.
-	Activities int
-	Fragments  int
-}
+type CurvePoint = session.CurvePoint
 
 // workItem is the paper's UI-queue item: the way of reaching an interface,
 // start and target, and the operation list from start to target.
@@ -257,94 +242,45 @@ func ExploreExtracted(ex *statics.Extraction, cfg Config) (*Result, error) {
 		cfg:       cfg,
 		model:     ex.Model.Clone(),
 		visits:    make(map[aftm.Node]Visit),
-		collector: sensitive.NewCollector(ex.App.Manifest.Package),
 		hints:     make(map[string]string),
 		explored:  make(map[string]bool),
 		reflected: make(map[string]bool),
 	}
+	e.s = session.New(ex.App, session.Options{
+		Budget:        cfg.MaxTestCases,
+		HaltOnAPI:     cfg.haltOnAPI,
+		AutoDismiss:   true,
+		TriageCrashes: true,
+		Observer:      cfg.Observer,
+		Coverage:      e.coverage,
+	})
 	for _, w := range ex.InputWidgets {
 		e.hints[w.Ref] = w.Hint
 	}
 	plan := PlanQueue(ex.Model)
 	for _, item := range plan {
-		e.logf("queue item %s", item)
+		e.s.Notef("queue item %s", item)
 	}
 	if err := e.run(); err != nil {
 		return nil, err
 	}
-	e.sampleCurve()
+	e.s.SampleCurve()
 	return &Result{
 		Extraction:   ex,
 		InitialPlan:  plan,
 		Model:        e.model,
 		Visits:       e.visits,
-		Collector:    e.collector,
-		TestCases:    e.testCases,
-		Steps:        e.steps,
-		Crashes:      e.crashes,
-		Curve:        e.curve,
-		CrashReports: e.crashReports,
-		Transcript:   e.log,
+		Collector:    e.s.Collector(),
+		Stats:        e.s.Stats(),
+		Curve:        e.s.Curve(),
+		CrashReports: e.s.CrashReports(),
+		Transcript:   e.s.Transcript(),
 	}, nil
 }
 
-func (e *engine) logf(format string, args ...any) {
-	e.log = append(e.log, fmt.Sprintf(format, args...))
-}
-
-// halted reports whether a targeted run has already observed its API.
-func (e *engine) halted() bool {
-	return e.cfg.haltOnAPI != "" && e.collector.Has(e.cfg.haltOnAPI)
-}
-
-// newDevice provisions a fresh instrumented device (install + monitor).
-func (e *engine) newDevice() *device.Device {
-	return device.New(e.app, device.Options{Monitor: func(ev device.SensitiveEvent) {
-		e.collector.Observe(sensitive.Event(ev))
-	}})
-}
-
-// runScript provisions a device and executes one generated test case.
-func (e *engine) runScript(s robotium.Script) (*device.Device, robotium.Result, bool) {
-	if e.halted() {
-		return nil, robotium.Result{}, false
-	}
-	if e.testCases >= e.cfg.MaxTestCases {
-		return nil, robotium.Result{}, false
-	}
-	e.testCases++
-	d := e.newDevice()
-	res := robotium.Run(d, s, robotium.Options{AutoDismiss: true})
-	e.steps += d.Steps()
-	if res.Crashed {
-		e.crashes++
-		e.recordCrash(res.CrashReason, s)
-	}
-	e.sampleCurve()
-	return d, res, true
-}
-
-// recordCrash keeps one report per distinct crash reason, with the route
-// that reproduces it.
-func (e *engine) recordCrash(reason string, route robotium.Script) {
-	if reason == "" {
-		return
-	}
-	if e.crashSeen == nil {
-		e.crashSeen = make(map[string]bool)
-	}
-	if e.crashSeen[reason] {
-		return
-	}
-	e.crashSeen[reason] = true
-	e.crashReports = append(e.crashReports, CrashReport{Reason: reason, Route: route})
-	e.logf("crash recorded: %s (%d ops to reproduce)", reason, len(route.Ops))
-}
-
-// sampleCurve appends a coverage sample when coverage changed (always kept
-// current for the latest test case).
-func (e *engine) sampleCurve() {
-	var acts, frags int
+// coverage feeds the session's curve sampler with the cumulative visited
+// counts.
+func (e *engine) coverage() (acts, frags int) {
 	for n := range e.visits {
 		if n.Kind == aftm.KindActivity {
 			acts++
@@ -352,15 +288,7 @@ func (e *engine) sampleCurve() {
 			frags++
 		}
 	}
-	p := CurvePoint{TestCase: e.testCases, Activities: acts, Fragments: frags}
-	if n := len(e.curve); n > 0 {
-		last := e.curve[n-1]
-		if last.Activities == p.Activities && last.Fragments == p.Fragments {
-			e.curve[n-1] = p // slide the flat tail forward
-			return
-		}
-	}
-	e.curve = append(e.curve, p)
+	return acts, frags
 }
 
 // identifyFragments maps a dump to the credited fragment classes: fragments
@@ -410,7 +338,9 @@ func (e *engine) visit(n aftm.Node, method ReachMethod, route robotium.Script) b
 		return false
 	}
 	e.visits[n] = Visit{Node: n, Method: method, Route: route}
-	e.logf("visited %s via %s (%d ops)", n, method, len(route.Ops))
+	e.s.Trace(session.Event{Kind: session.KindVisit, Node: n.String(),
+		Method: string(method), Script: route.Name, Ops: len(route.Ops),
+		Msg: fmt.Sprintf("visited %s via %s (%d ops)", n, method, len(route.Ops))})
 	return true
 }
 
@@ -440,12 +370,12 @@ func (e *engine) run() error {
 		return err
 	}
 	launch := robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}}
-	d, res, ok := e.runScript(launch)
+	d, res, ok := e.s.RunScript(launch, session.PurposeLaunch)
 	if !ok {
 		return errors.New("explorer: test-case budget exhausted before launch")
 	}
 	if res.Err != nil {
-		e.logf("entry launch failed: %v", res.Err)
+		e.s.Notef("entry launch failed: %v", res.Err)
 		return fmt.Errorf("explorer: cannot launch entry %s: %w", entry, res.Err)
 	}
 	st, _, err := e.observe(d)
@@ -456,24 +386,24 @@ func (e *engine) run() error {
 
 	for round := 1; ; round++ {
 		progressed := false
-		for len(e.worklist) > 0 && e.testCases < e.cfg.MaxTestCases {
+		for len(e.worklist) > 0 && !e.s.Exhausted() {
 			item := e.worklist[0]
 			e.worklist = e.worklist[1:]
 			if e.explored[item.target.key()] {
 				continue
 			}
 			e.explored[item.target.key()] = true
-			e.logf("explore interface %s (reached via %s)", item.target, item.method)
+			e.s.Notef("explore interface %s (reached via %s)", item.target, item.method)
 			e.exploreInterface(item)
 			progressed = true
 		}
-		if e.cfg.UseForcedStart && e.testCases < e.cfg.MaxTestCases {
+		if e.cfg.UseForcedStart && !e.s.Exhausted() {
 			if e.forcedStartPass() {
 				progressed = true
 			}
 		}
-		if !progressed || e.testCases >= e.cfg.MaxTestCases {
-			e.logf("terminated after round %d: queue empty and AFTM stable (test cases: %d)", round, e.testCases)
+		if !progressed || e.s.Exhausted() {
+			e.s.Notef("terminated after round %d: queue empty and AFTM stable (test cases: %d)", round, e.s.Stats().TestCases)
 			return nil
 		}
 	}
@@ -481,21 +411,21 @@ func (e *engine) run() error {
 
 // replayTo re-provisions a device and replays a route, verifying arrival.
 func (e *engine) replayTo(item workItem) (*device.Device, bool) {
-	d, res, ok := e.runScript(item.route)
+	d, res, ok := e.s.RunScript(item.route, session.PurposeReplay)
 	if !ok {
 		return nil, false
 	}
 	if res.Err != nil {
-		e.logf("replay to %s failed at %q: %v", item.target, res.FailedOp, res.Err)
+		e.s.Notef("replay to %s failed at %q: %v", item.target, res.FailedOp, res.Err)
 		return nil, false
 	}
 	st, _, err := e.observe(d)
 	if err != nil {
-		e.logf("replay to %s: observe failed: %v", item.target, err)
+		e.s.Notef("replay to %s: observe failed: %v", item.target, err)
 		return nil, false
 	}
 	if st.key() != item.target.key() {
-		e.logf("replay diverged: wanted %s, got %s", item.target, st)
+		e.s.Notef("replay diverged: wanted %s, got %s", item.target, st)
 		return nil, false
 	}
 	return d, true
@@ -537,7 +467,7 @@ func (e *engine) exploreInterface(item workItem) {
 		}
 	}
 	clickables := dump.ClickableRefs()
-	e.logf("interface %s: %d clickable widgets", item.target, len(clickables))
+	e.s.Notef("interface %s: %d clickable widgets", item.target, len(clickables))
 
 	fresh := false // d currently sits at the target interface
 	for _, ref := range clickables {
@@ -558,20 +488,22 @@ func (e *engine) exploreInterface(item workItem) {
 		// generator (inputgen.Dictionary rotates candidates per call).
 		fillOps := e.fillOps(preDump)
 		for _, op := range fillOps {
+			ev := session.Event{Kind: session.KindInputFill, Ref: op.Ref, Value: op.Value}
 			if err := d.EnterText(op.Ref, op.Value); err != nil {
-				e.logf("fill %s: %v", op.Ref, err)
+				ev.Err = err.Error()
+				ev.Msg = fmt.Sprintf("fill %s: %v", op.Ref, err)
 			}
+			e.s.Trace(ev)
 		}
 		ownerFrag := widgetFragment(preDump, ref)
 		if err := d.Click(ref); err != nil {
-			e.logf("click %s: %v", ref, err)
+			e.s.Notef("click %s: %v", ref, err)
 			continue
 		}
 		if d.Crashed() {
 			// Case 3: the app crashed — restart and continue clicking.
-			e.logf("click %s crashed the app: %s", ref, d.CrashReason())
-			e.crashes++
-			e.recordCrash(d.CrashReason(),
+			e.s.Notef("click %s crashed the app: %s", ref, d.CrashReason())
+			e.s.MarkCrash(d.CrashReason(),
 				item.route.Append("crash_"+ref, append(fillOps, robotium.Click(ref))...))
 			fresh = true
 			continue
@@ -639,7 +571,7 @@ func (e *engine) recordTransition(from iface, ownerFrag string, to iface, ref st
 	}
 	if to.activity != from.activity {
 		if _, err := e.model.MergeEdge(src, aftm.ActivityNode(to.activity), via, host); err != nil {
-			e.logf("model update %s -> %s: %v", src, to.activity, err)
+			e.s.Notef("model update %s -> %s: %v", src, to.activity, err)
 		}
 	}
 	// Fragment arrivals: edge from the click source to each newly shown
@@ -670,12 +602,12 @@ func (e *engine) recordTransition(from iface, ownerFrag string, to iface, ref st
 			// The fragment was observed on this very activity's screen:
 			// a direct E2, regardless of the fragment's other hosts.
 			if _, err := e.model.AddEdge(fromNode, aftm.FragmentNode(f), via); err != nil {
-				e.logf("model update %s -> F:%s: %v", fromNode, f, err)
+				e.s.Notef("model update %s -> F:%s: %v", fromNode, f, err)
 			}
 			continue
 		}
 		if _, err := e.model.MergeEdge(fromNode, aftm.FragmentNode(f), via, host); err != nil {
-			e.logf("model update %s -> F:%s: %v", fromNode, f, err)
+			e.s.Notef("model update %s -> F:%s: %v", fromNode, f, err)
 		}
 	}
 }
@@ -708,10 +640,10 @@ func (e *engine) reflectionItems(item workItem) {
 		// switch template; merely referenced or view-inflated fragments
 		// cannot be confirmed as real loadings (§VII-B2).
 		if !e.ex.TxnCommitted[frag] {
-			e.logf("reflection skipped for %s: no FragmentTransaction switches it", frag)
+			e.s.Notef("reflection skipped for %s: no FragmentTransaction switches it", frag)
 			continue
 		}
-		if e.testCases >= e.cfg.MaxTestCases {
+		if e.s.Exhausted() {
 			return
 		}
 		// Try each container of the activity's layouts until one accepts the
@@ -720,12 +652,14 @@ func (e *engine) reflectionItems(item workItem) {
 		// than one candidate).
 		for _, container := range containers {
 			route := item.route.Append("reflect_"+frag, robotium.Reflect(frag, container))
-			d, res, ok := e.runScript(route)
+			d, res, ok := e.s.RunScript(route, session.PurposeReflection)
 			if !ok {
 				return
 			}
 			if res.Err != nil {
-				e.logf("reflection to %s in %s via %s failed: %v", frag, act, container, res.Err)
+				e.s.Trace(session.Event{Kind: session.KindReflectionAttempt,
+					Fragment: frag, Activity: act, Container: container, Err: res.Err.Error(),
+					Msg: fmt.Sprintf("reflection to %s in %s via %s failed: %v", frag, act, container, res.Err)})
 				continue
 			}
 			st, _, err := e.observe(d)
@@ -739,14 +673,19 @@ func (e *engine) reflectionItems(item workItem) {
 				}
 			}
 			if !credited {
-				e.logf("reflection to %s in %s not confirmed by instrumentation", frag, act)
+				e.s.Trace(session.Event{Kind: session.KindReflectionAttempt,
+					Fragment: frag, Activity: act, Container: container,
+					Err: "not confirmed by instrumentation",
+					Msg: fmt.Sprintf("reflection to %s in %s not confirmed by instrumentation", frag, act)})
 				continue
 			}
 			// The reflective transaction committed into this activity's own
 			// container: a direct E2.
 			if _, err := e.model.AddEdge(aftm.ActivityNode(act), aftm.FragmentNode(frag), aftm.ViaReflection); err != nil {
-				e.logf("model update reflect %s: %v", frag, err)
+				e.s.Notef("model update reflect %s: %v", frag, err)
 			}
+			e.s.Trace(session.Event{Kind: session.KindReflectionAttempt,
+				Fragment: frag, Activity: act, Container: container})
 			e.arrive(st, ReachReflection, route)
 			break
 		}
@@ -760,25 +699,28 @@ func (e *engine) reflectionItems(item workItem) {
 func (e *engine) forcedStartPass() bool {
 	progressed := false
 	for _, n := range e.model.Unvisited(aftm.KindActivity) {
-		if e.testCases >= e.cfg.MaxTestCases {
+		if e.s.Exhausted() {
 			break
 		}
 		script := robotium.Script{
 			Name: "force_" + n.Name,
 			Ops:  []robotium.Op{robotium.ForceStart(n.Name)},
 		}
-		d, res, ok := e.runScript(script)
+		d, res, ok := e.s.RunScript(script, session.PurposeForcedStart)
 		if !ok {
 			break
 		}
 		if res.Err != nil {
-			e.logf("forced start of %s failed: %v (%s)", n.Name, res.Err, res.CrashReason)
+			e.s.Trace(session.Event{Kind: session.KindForcedStart, Activity: n.Name,
+				Err: res.Err.Error(), Reason: res.CrashReason,
+				Msg: fmt.Sprintf("forced start of %s failed: %v (%s)", n.Name, res.Err, res.CrashReason)})
 			continue
 		}
 		st, _, err := e.observe(d)
 		if err != nil {
 			continue
 		}
+		e.s.Trace(session.Event{Kind: session.KindForcedStart, Activity: n.Name})
 		e.arrive(st, ReachForced, script)
 		progressed = true
 	}

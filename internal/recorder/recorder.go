@@ -12,6 +12,7 @@ import (
 
 	"fragdroid/internal/device"
 	"fragdroid/internal/robotium"
+	"fragdroid/internal/session"
 )
 
 // Recorder proxies a device and logs every successful interaction.
@@ -80,13 +81,25 @@ func (r *Recorder) Script() robotium.Script {
 var ErrEmptyRecording = errors.New("recorder: empty recording")
 
 // Replay runs a recording on a fresh device, verifying it lands on the same
-// foreground activity the recording ended on.
+// foreground activity the recording ended on. The run is charged to a
+// throwaway session; use ReplayIn to account it against an existing one.
 func Replay(rec *Recorder, target *device.Device) (robotium.Result, error) {
-	s := rec.Script()
-	if len(s.Ops) == 0 {
+	return ReplayIn(session.New(target.App(), session.Options{}), rec, target)
+}
+
+// ReplayIn replays a recording as one budgeted test case of an exploration
+// session (PurposeReplay): the session does the step accounting, crash
+// handling, and tracing. Replays never auto-dismiss dialogs — a recording is
+// reproduced verbatim, popups included.
+func ReplayIn(s *session.Session, rec *Recorder, target *device.Device) (robotium.Result, error) {
+	sc := rec.Script()
+	if len(sc.Ops) == 0 {
 		return robotium.Result{}, ErrEmptyRecording
 	}
-	res := robotium.Run(target, s, robotium.Options{})
+	res, ok := s.RunOn(target, sc, session.PurposeReplay)
+	if !ok {
+		return res, errors.New("recorder: session halted or out of budget")
+	}
 	if res.Err != nil {
 		return res, res.Err
 	}

@@ -29,8 +29,11 @@ func RenderAppReport(pkg string, res *explorer.Result) string {
 	fmt.Fprintf(&b, "| fragments in visited activities | %d | %d | %.2f%% |\n\n", fv, fsum, rate(fv, fsum))
 	fmt.Fprintf(&b, "AFTM: %d activities, %d fragments; edges E1=%d E2=%d E3=%d. ",
 		c.Activities, c.Fragments, c.E1, c.E2, c.E3)
-	fmt.Fprintf(&b, "Work: %d test cases, %d device steps, %d crashes.\n\n",
+	fmt.Fprintf(&b, "Work: %d test cases, %d device steps, %d crashes. ",
 		res.TestCases, res.Steps, res.Crashes)
+	fmt.Fprintf(&b, "Session: %d replays, %d reflection attempts (%d failed), %d forced starts, %d input fills.\n\n",
+		res.Replays, res.ReflectionAttempts, res.ReflectionFailures,
+		res.ForcedStarts, res.InputFills)
 
 	b.WriteString("## Visits\n\n")
 	b.WriteString("| node | reached via | route ops |\n|---|---|---|\n")

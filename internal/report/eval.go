@@ -17,6 +17,7 @@ import (
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/explorer"
 	"fragdroid/internal/sensitive"
+	"fragdroid/internal/session"
 	"fragdroid/internal/statics"
 )
 
@@ -83,6 +84,30 @@ type AppResult struct {
 // Evaluation is the outcome of running FragDroid over the 15-app corpus.
 type Evaluation struct {
 	Apps []AppResult
+}
+
+// RunMetrics couples one corpus app with its run's session counters.
+type RunMetrics struct {
+	Package string
+	session.Stats
+}
+
+// RunMetrics returns the per-app session counters, in corpus order.
+func (ev *Evaluation) RunMetrics() []RunMetrics {
+	out := make([]RunMetrics, 0, len(ev.Apps))
+	for _, ar := range ev.Apps {
+		out = append(out, RunMetrics{Package: ar.Row.Package, Stats: ar.Result.Stats})
+	}
+	return out
+}
+
+// TotalStats sums the session counters over the whole corpus.
+func (ev *Evaluation) TotalStats() session.Stats {
+	var total session.Stats
+	for _, ar := range ev.Apps {
+		total = total.Add(ar.Result.Stats)
+	}
+	return total
 }
 
 // RunEvaluation builds the 15 Table I apps and explores each with FragDroid.
@@ -371,17 +396,13 @@ func RunComparison(cfg EvalConfig, monkeySeed int64, monkeyEvents int) (*Compari
 	actA, actF, _ := t1.Averages()
 
 	cmp := &Comparison{FragDroidStats: fragStats}
-	var fdCases int
-	for _, ar := range ev.Apps {
-		fdCases += ar.Result.TestCases
-	}
 	cmp.Rows = append(cmp.Rows, ComparisonRow{
 		System:               "FragDroid",
 		ActivityPct:          actA,
 		FragmentPct:          actF,
 		APIs:                 fragStats.DistinctAPIs,
 		FragmentAPIRelations: fragStats.FragmentRelations,
-		TestCases:            fdCases,
+		TestCases:            ev.TotalStats().TestCases,
 	})
 
 	for _, sys := range []string{"Activity-level MBT", "Monkey"} {
@@ -421,7 +442,7 @@ func relationSet(cs []*sensitive.Collector) map[string]bool {
 func runBaselineSystem(sys string, ev *Evaluation, cfg EvalConfig, seed int64, events int, fdRelations map[string]bool) (ComparisonRow, error) {
 	var collectors []*sensitive.Collector
 	var actPctSum float64
-	var cases int
+	var stats session.Stats
 	for _, ar := range ev.Apps {
 		var (
 			res *baseline.Result
@@ -432,9 +453,11 @@ func runBaselineSystem(sys string, ev *Evaluation, cfg EvalConfig, seed int64, e
 			bcfg := baseline.DefaultActivityConfig()
 			bcfg.Inputs = cfg.Explorer.Inputs
 			bcfg.MaxTestCases = cfg.Explorer.MaxTestCases
+			bcfg.Observer = cfg.Explorer.Observer
 			res, err = baseline.ExploreActivities(ar.App, bcfg)
 		case "Monkey":
-			res, err = baseline.Monkey(ar.App, baseline.MonkeyConfig{Seed: seed, Events: events})
+			res, err = baseline.Monkey(ar.App, baseline.MonkeyConfig{
+				Seed: seed, Events: events, Observer: cfg.Explorer.Observer})
 		default:
 			return ComparisonRow{}, fmt.Errorf("report: unknown system %q", sys)
 		}
@@ -444,7 +467,7 @@ func runBaselineSystem(sys string, ev *Evaluation, cfg EvalConfig, seed int64, e
 		collectors = append(collectors, res.Collector)
 		effective := countEffective(ar.Result.Extraction, res.VisitedActivities)
 		actPctSum += rate(effective, len(ar.Result.Extraction.EffectiveActivities))
-		cases += res.TestCases
+		stats = stats.Add(res.Stats)
 	}
 	m := sensitive.NewMatrix(collectors)
 	st := m.ComputeStats()
@@ -456,7 +479,7 @@ func runBaselineSystem(sys string, ev *Evaluation, cfg EvalConfig, seed int64, e
 		APIs:                 st.DistinctAPIs,
 		FragmentAPIRelations: st.FragmentRelations,
 		MissedFragmentAPIPct: missed,
-		TestCases:            cases,
+		TestCases:            stats.TestCases,
 	}, nil
 }
 

@@ -5,7 +5,11 @@ import (
 	"strings"
 
 	"fragdroid/internal/sensitive"
+	"fragdroid/internal/session"
 )
+
+// sessionStats aliases the shared run-stats shape for the renderers.
+type sessionStats = session.Stats
 
 // RenderTable1 renders the measured coverage table in the layout of the
 // paper's Table I, with the published numbers alongside for comparison.
@@ -75,6 +79,25 @@ func RenderTable2(m *sensitive.Matrix) string {
 	st := m.ComputeStats()
 	fmt.Fprintf(&b, "%s\n", st)
 	b.WriteString("Paper: 46 sensitive APIs, 269 invocations, 49% fragment-associated, >=9.6% missed by Activity-level tools\n")
+	return b.String()
+}
+
+// RenderRunMetrics renders the per-app session counters of an evaluation as
+// a markdown table, with a totals row.
+func RenderRunMetrics(ev *Evaluation) string {
+	var b strings.Builder
+	b.WriteString("## Run metrics\n\n")
+	b.WriteString("| app | test cases | device steps | replays | reflection attempts | reflection failures | forced starts | input fills | crashes |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	row := func(name string, s sessionStats) {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d | %d |\n",
+			name, s.TestCases, s.Steps, s.Replays, s.ReflectionAttempts,
+			s.ReflectionFailures, s.ForcedStarts, s.InputFills, s.Crashes)
+	}
+	for _, m := range ev.RunMetrics() {
+		row(m.Package, m.Stats)
+	}
+	row("**total**", ev.TotalStats())
 	return b.String()
 }
 

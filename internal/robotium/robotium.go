@@ -116,6 +116,10 @@ type Options struct {
 	// AutoDismiss closes dialogs before each op, like a test harness that
 	// clears popups to keep the script on track (§VI-A Case 3).
 	AutoDismiss bool
+	// Observe, when set, is called after each attempted operation with its
+	// outcome — the trace hook an exploration session uses to record per-op
+	// events. The error is the op's failure, nil on success.
+	Observe func(op Op, err error)
 }
 
 // Run executes the script on a device, stopping at the first failure.
@@ -145,6 +149,9 @@ func Run(d *device.Device, s Script, opts Options) Result {
 			err = d.Reflect(op.Fragment, op.Container)
 		default:
 			err = fmt.Errorf("robotium: unknown op kind %d", int(op.Kind))
+		}
+		if opts.Observe != nil {
+			opts.Observe(op, err)
 		}
 		if err != nil {
 			return fail(d, res, op, err)

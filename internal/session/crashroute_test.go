@@ -1,0 +1,47 @@
+package session_test
+
+import (
+	"testing"
+
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/device"
+	"fragdroid/internal/explorer"
+	"fragdroid/internal/robotium"
+)
+
+// TestCrashRoutesReproduce verifies the triage contract: every CrashReport's
+// route, replayed on a fresh device, force-closes the app again with the same
+// reason. Routes are executed under the same harness options the engine used
+// (auto-dismissed dialogs), so a report is a self-contained reproducer.
+func TestCrashRoutesReproduce(t *testing.T) {
+	reports := 0
+	for _, pkg := range parityApps {
+		spec := parityApp(t, pkg)
+		app, err := corpus.BuildApp(spec)
+		if err != nil {
+			t.Fatalf("build %s: %v", pkg, err)
+		}
+		cfg := explorer.DefaultConfig()
+		cfg.MaxTestCases = 4000
+		res, err := explorer.Explore(app, cfg)
+		if err != nil {
+			t.Fatalf("explore %s: %v", pkg, err)
+		}
+		for _, cr := range res.CrashReports {
+			reports++
+			d := device.New(app, device.Options{})
+			rr := robotium.Run(d, cr.Route, robotium.Options{AutoDismiss: true})
+			if !rr.Crashed {
+				t.Errorf("%s: route %s did not reproduce crash %q", pkg, cr.Route.Name, cr.Reason)
+				continue
+			}
+			if rr.CrashReason != cr.Reason {
+				t.Errorf("%s: route %s crashed with %q, report says %q",
+					pkg, cr.Route.Name, rr.CrashReason, cr.Reason)
+			}
+		}
+	}
+	if reports == 0 {
+		t.Fatal("no crash reports produced across the parity apps; triage coverage lost")
+	}
+}

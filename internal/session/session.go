@@ -1,0 +1,312 @@
+// Package session implements the shared exploration-session runtime every
+// dynamic engine runs on: device provisioning wired to a sensitive-API
+// collector, budgeted Robotium script execution with test-case and step
+// accounting, crash triage (one report per distinct force-close reason, each
+// with a replayable route), coverage-curve sampling, and a structured trace
+// of typed events behind a pluggable Observer sink.
+//
+// The explorer, the Activity-level baseline, Monkey, and the recorder's
+// replay all share this layer, so the harness mechanics — budgets, restarts,
+// crash handling — are identical across strategies by construction (the
+// fairness requirement of comparative evaluations; Choudhary et al.), and
+// every run yields the same telemetry shape for the report tables.
+package session
+
+import (
+	"fmt"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/device"
+	"fragdroid/internal/robotium"
+	"fragdroid/internal/sensitive"
+)
+
+// Stats is the shared run-stats shape: the counters every engine accumulates
+// through the session. Engine results embed it, so the report layer consumes
+// one shape instead of converting between per-engine fields.
+type Stats struct {
+	// TestCases counts budgeted script executions (one fresh instrumentation
+	// run each), or injected event batches for engines that drive a
+	// long-lived device directly.
+	TestCases int `json:"test_cases"`
+	// Steps is the accumulated device work (interpreted instructions plus
+	// delivered UI events).
+	Steps int `json:"steps"`
+	// Crashes counts observed force-closes.
+	Crashes int `json:"crashes"`
+	// Replays counts script runs that re-established a previously reached
+	// interface (PurposeReplay).
+	Replays int `json:"replays"`
+	// ReflectionAttempts counts reflective fragment-switch scripts executed;
+	// ReflectionFailures the attempts that did not credit their fragment.
+	ReflectionAttempts int `json:"reflection_attempts"`
+	ReflectionFailures int `json:"reflection_failures"`
+	// ForcedStarts counts forced empty-Intent start scripts executed.
+	ForcedStarts int `json:"forced_starts"`
+	// InputFills counts input widgets successfully filled.
+	InputFills int `json:"input_fills"`
+}
+
+// Add returns the element-wise sum of two stats.
+func (s Stats) Add(o Stats) Stats {
+	s.TestCases += o.TestCases
+	s.Steps += o.Steps
+	s.Crashes += o.Crashes
+	s.Replays += o.Replays
+	s.ReflectionAttempts += o.ReflectionAttempts
+	s.ReflectionFailures += o.ReflectionFailures
+	s.ForcedStarts += o.ForcedStarts
+	s.InputFills += o.InputFills
+	return s
+}
+
+// CrashReport is one distinct force-close with a route that reproduces it.
+type CrashReport struct {
+	// Reason is the FC message (exception-style).
+	Reason string
+	// Route is the operation list whose execution crashed the app.
+	Route robotium.Script
+}
+
+// CurvePoint is one sample of the coverage curve.
+type CurvePoint struct {
+	// TestCase is the cumulative number of executed test cases.
+	TestCase int
+	// Activities and Fragments are cumulative visited counts.
+	Activities int
+	Fragments  int
+}
+
+// Options configure a session.
+type Options struct {
+	// Budget bounds the number of script executions (test cases); zero means
+	// unlimited. Engines apply their own defaults before constructing the
+	// session.
+	Budget int
+	// HaltOnAPI stops the session as soon as the named sensitive API is
+	// observed (targeted SmartDroid-style runs).
+	HaltOnAPI string
+	// AutoDismiss makes script runs close dialogs before each operation.
+	AutoDismiss bool
+	// TriageCrashes keeps one CrashReport per distinct force-close reason,
+	// with the route that reproduces it. Engines without fault-finding
+	// output (the baselines) leave it off: crashes are still counted.
+	TriageCrashes bool
+	// Collector receives the run's sensitive-API observations; nil allocates
+	// a fresh collector for the app package.
+	Collector *sensitive.Collector
+	// Observer is the structured trace sink; nil disables event delivery
+	// (counters, transcript, and reports are maintained regardless).
+	Observer Observer
+	// Coverage supplies the cumulative visited counts behind the coverage
+	// curve; nil disables curve sampling.
+	Coverage func() (activities, fragments int)
+}
+
+// Session is one exploration run's shared runtime state.
+type Session struct {
+	app  *apk.App
+	opts Options
+
+	collector *sensitive.Collector
+	stats     Stats
+	seq       int
+
+	transcript   []string
+	crashSeen    map[string]bool
+	crashReports []CrashReport
+	curve        []CurvePoint
+}
+
+// New returns a session for one app run.
+func New(app *apk.App, opts Options) *Session {
+	s := &Session{app: app, opts: opts, collector: opts.Collector}
+	if s.collector == nil {
+		s.collector = sensitive.NewCollector(app.Manifest.Package)
+	}
+	return s
+}
+
+// App returns the application under test.
+func (s *Session) App() *apk.App { return s.app }
+
+// Collector returns the session's sensitive-API collector.
+func (s *Session) Collector() *sensitive.Collector { return s.collector }
+
+// Stats returns the accumulated counters.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Transcript returns the human-readable run log: the Msg lines of the event
+// stream, in order.
+func (s *Session) Transcript() []string { return s.transcript }
+
+// CrashReports returns the triaged force-closes, one per distinct reason.
+func (s *Session) CrashReports() []CrashReport { return s.crashReports }
+
+// Curve returns the coverage-curve samples.
+func (s *Session) Curve() []CurvePoint { return s.curve }
+
+// Exhausted reports whether the test-case budget is spent.
+func (s *Session) Exhausted() bool {
+	return s.opts.Budget > 0 && s.stats.TestCases >= s.opts.Budget
+}
+
+// Halted reports whether a targeted run has already observed its API.
+func (s *Session) Halted() bool {
+	return s.opts.HaltOnAPI != "" && s.collector.Has(s.opts.HaltOnAPI)
+}
+
+// Trace emits one structured event: it stamps the sequence number and app,
+// updates the counters the event kind implies, appends Msg (when present) to
+// the transcript, and delivers the event to the Observer if one is attached.
+func (s *Session) Trace(ev Event) {
+	s.seq++
+	ev.Seq = s.seq
+	ev.App = s.app.Manifest.Package
+	switch ev.Kind {
+	case KindInputFill:
+		if ev.Err == "" {
+			s.stats.InputFills++
+		}
+	case KindReflectionAttempt:
+		if ev.Err != "" {
+			s.stats.ReflectionFailures++
+		}
+	}
+	if ev.Msg != "" {
+		s.transcript = append(s.transcript, ev.Msg)
+	}
+	if s.opts.Observer != nil {
+		s.opts.Observer.OnEvent(ev)
+	}
+}
+
+// Notef emits a free-form note event whose Msg becomes a transcript line.
+func (s *Session) Notef(format string, args ...any) {
+	s.Trace(Event{Kind: KindNote, Msg: fmt.Sprintf(format, args...)})
+}
+
+// NewDevice provisions a fresh instrumented device: the app installed, the
+// sensitive-API monitor wired to the session collector, and — while an
+// Observer is attached — the device log forwarded as trace events.
+func (s *Session) NewDevice() *device.Device {
+	opts := device.Options{Monitor: func(ev device.SensitiveEvent) {
+		e := sensitive.Event(ev)
+		s.collector.Observe(e)
+		if s.opts.Observer != nil {
+			s.Trace(Event{Kind: KindSensitive, API: e.API, Class: e.Class,
+				InFragment: e.InFragment, Activity: e.Activity})
+		}
+	}}
+	if s.opts.Observer != nil {
+		opts.Hook = func(line string) {
+			s.Trace(Event{Kind: KindDevice, Detail: line})
+		}
+	}
+	return device.New(s.app, opts)
+}
+
+// RunScript provisions a fresh device and executes one budgeted test case on
+// it. The third return is false when the session is halted or out of budget
+// (no device was provisioned then).
+func (s *Session) RunScript(sc robotium.Script, p Purpose) (*device.Device, robotium.Result, bool) {
+	if s.Halted() || s.Exhausted() {
+		return nil, robotium.Result{}, false
+	}
+	d := s.NewDevice()
+	res, ok := s.RunOn(d, sc, p)
+	return d, res, ok
+}
+
+// RunOn executes one budgeted test case on a caller-provided device,
+// applying the same accounting, crash triage, curve sampling, and tracing as
+// RunScript. Steps are charged as the device's delta across the run, so
+// long-lived devices are billed correctly.
+func (s *Session) RunOn(d *device.Device, sc robotium.Script, p Purpose) (robotium.Result, bool) {
+	if s.Halted() || s.Exhausted() {
+		return robotium.Result{}, false
+	}
+	s.stats.TestCases++
+	switch p {
+	case PurposeReplay:
+		s.stats.Replays++
+	case PurposeReflection:
+		s.stats.ReflectionAttempts++
+	case PurposeForcedStart:
+		s.stats.ForcedStarts++
+	}
+	opts := robotium.Options{AutoDismiss: s.opts.AutoDismiss}
+	if s.opts.Observer != nil {
+		opts.Observe = func(op robotium.Op, err error) {
+			s.Trace(Event{Kind: KindOp, Script: sc.Name, Op: op.String(), Err: errString(err)})
+		}
+	}
+	before := d.Steps()
+	res := robotium.Run(d, sc, opts)
+	delta := d.Steps() - before
+	s.stats.Steps += delta
+	if res.Crashed {
+		s.MarkCrash(res.CrashReason, sc)
+	}
+	s.Trace(Event{Kind: KindScriptRun, Script: sc.Name, Purpose: p,
+		Ops: len(sc.Ops), Executed: res.Executed, Steps: delta,
+		Crashed: res.Crashed, Reason: res.CrashReason, Err: errString(res.Err),
+		TestCase: s.stats.TestCases})
+	s.SampleCurve()
+	return res, true
+}
+
+// MarkCrash counts one observed force-close. With triage enabled, the first
+// route per distinct reason is kept as a replayable CrashReport.
+func (s *Session) MarkCrash(reason string, route robotium.Script) {
+	s.stats.Crashes++
+	if !s.opts.TriageCrashes || reason == "" || s.crashSeen[reason] {
+		s.Trace(Event{Kind: KindCrash, Reason: reason})
+		return
+	}
+	if s.crashSeen == nil {
+		s.crashSeen = make(map[string]bool)
+	}
+	s.crashSeen[reason] = true
+	s.crashReports = append(s.crashReports, CrashReport{Reason: reason, Route: route})
+	s.Trace(Event{Kind: KindCrash, Reason: reason, Ops: len(route.Ops),
+		Msg: fmt.Sprintf("crash recorded: %s (%d ops to reproduce)", reason, len(route.Ops))})
+}
+
+// SampleCurve appends a coverage sample when coverage changed (the latest
+// test case always holds the current sample). No-op without a Coverage
+// source.
+func (s *Session) SampleCurve() {
+	if s.opts.Coverage == nil {
+		return
+	}
+	acts, frags := s.opts.Coverage()
+	p := CurvePoint{TestCase: s.stats.TestCases, Activities: acts, Fragments: frags}
+	if n := len(s.curve); n > 0 {
+		last := s.curve[n-1]
+		if last.Activities == p.Activities && last.Fragments == p.Fragments {
+			s.curve[n-1] = p // slide the flat tail forward
+			return
+		}
+	}
+	s.curve = append(s.curve, p)
+	if s.opts.Observer != nil {
+		s.Trace(Event{Kind: KindCurve, TestCase: p.TestCase,
+			Activities: p.Activities, Fragments: p.Fragments})
+	}
+}
+
+// AddTestCases charges n test cases to the session without running scripts —
+// for engines that inject raw events on a long-lived device (Monkey bills
+// its event batches this way).
+func (s *Session) AddTestCases(n int) { s.stats.TestCases += n }
+
+// AddSteps charges device work performed outside RunOn.
+func (s *Session) AddSteps(n int) { s.stats.Steps += n }
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,159 @@
+package session
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Kind enumerates the structured trace event types a session emits.
+type Kind string
+
+// Event kinds.
+const (
+	// KindScriptRun is one budgeted script execution (one test case).
+	KindScriptRun Kind = "script_run"
+	// KindOp is one script operation delivered to the device (observer-only;
+	// emitted while an Observer is attached).
+	KindOp Kind = "op"
+	// KindVisit is the first arrival at a node or activity.
+	KindVisit Kind = "visit"
+	// KindCrash is one observed force-close (triaged reports carry Msg).
+	KindCrash Kind = "crash"
+	// KindReflectionAttempt is one reflective fragment-switch outcome.
+	KindReflectionAttempt Kind = "reflection_attempt"
+	// KindForcedStart is one forced empty-Intent start outcome.
+	KindForcedStart Kind = "forced_start"
+	// KindInputFill is one input-widget fill attempt.
+	KindInputFill Kind = "input_fill"
+	// KindSensitive is one sensitive-API invocation observed by the monitor.
+	KindSensitive Kind = "sensitive"
+	// KindCurve is one coverage-curve sample (emitted when coverage changes).
+	KindCurve Kind = "curve"
+	// KindDevice is one device-log line (observer-only).
+	KindDevice Kind = "device"
+	// KindNote is a free-form engine note; its Msg is a transcript line.
+	KindNote Kind = "note"
+)
+
+// Purpose classifies why a script was executed; the session counters key off
+// it (Replays, ReflectionAttempts, ForcedStarts).
+type Purpose string
+
+// Script purposes.
+const (
+	PurposeLaunch      Purpose = "launch"
+	PurposeReplay      Purpose = "replay"
+	PurposeReflection  Purpose = "reflection"
+	PurposeForcedStart Purpose = "forced-start"
+	PurposeProbe       Purpose = "probe"
+)
+
+// Event is one typed trace record. Msg, when non-empty, is the human
+// transcript line the event renders to — the legacy engine transcripts are
+// exactly the Msg fields of the event stream, in order (RenderTranscript).
+// All other fields are structured payload; unused ones stay at their zero
+// value and are omitted from the JSON form.
+type Event struct {
+	Seq  int    `json:"seq"`
+	App  string `json:"app,omitempty"`
+	Kind Kind   `json:"kind"`
+	Msg  string `json:"msg,omitempty"`
+
+	// Script execution payload.
+	Script   string  `json:"script,omitempty"`
+	Purpose  Purpose `json:"purpose,omitempty"`
+	Ops      int     `json:"ops,omitempty"`
+	Executed int     `json:"executed,omitempty"`
+	Steps    int     `json:"steps,omitempty"`
+	Crashed  bool    `json:"crashed,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+	TestCase int     `json:"test_case,omitempty"`
+
+	// Node / UI payload.
+	Node      string `json:"node,omitempty"`
+	Method    string `json:"method,omitempty"`
+	Activity  string `json:"activity,omitempty"`
+	Fragment  string `json:"fragment,omitempty"`
+	Container string `json:"container,omitempty"`
+	Ref       string `json:"ref,omitempty"`
+	Value     string `json:"value,omitempty"`
+
+	// Sensitive-API payload.
+	API        string `json:"api,omitempty"`
+	Class      string `json:"class,omitempty"`
+	InFragment bool   `json:"in_fragment,omitempty"`
+
+	// Coverage payload.
+	Activities int `json:"activities,omitempty"`
+	Fragments  int `json:"fragments,omitempty"`
+
+	// Op / device payload.
+	Op     string `json:"op,omitempty"`
+	Detail string `json:"detail,omitempty"`
+
+	// Err carries the failure, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// Observer is a pluggable sink for structured trace events.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
+
+// TraceBuffer is an Observer that collects every event. It is safe for
+// concurrent use, so one buffer can sink a parallel multi-app evaluation
+// (events carry App and Seq for demultiplexing).
+type TraceBuffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// OnEvent implements Observer.
+func (b *TraceBuffer) OnEvent(ev Event) {
+	b.mu.Lock()
+	b.events = append(b.events, ev)
+	b.mu.Unlock()
+}
+
+// Events returns a copy of the collected events.
+func (b *TraceBuffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Len reports the number of collected events.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// JSON renders the collected events as an indented JSON array — the payload
+// behind the -trace flag of the command-line tools.
+func (b *TraceBuffer) JSON() ([]byte, error) {
+	events := b.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	return json.MarshalIndent(events, "", "  ")
+}
+
+// RenderTranscript recovers the legacy human transcript from an event
+// stream: the Msg lines, in emission order. A session's Transcript() equals
+// RenderTranscript of the events it emitted.
+func RenderTranscript(events []Event) []string {
+	var out []string
+	for _, ev := range events {
+		if ev.Msg != "" {
+			out = append(out, ev.Msg)
+		}
+	}
+	return out
+}
