@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet lint bench
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,18 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint chains the static gates: go vet, staticcheck when installed (CI always
+# runs it; local runs without the binary degrade to a notice), and fraglint —
+# the repo's own diagnostics engine — over the built-in corpus apps the
+# examples/ programs drive, failing on error-severity findings.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	$(GO) run ./cmd/fraglint -builtin -severity error
 
 # bench writes the full benchmark log (the reproduction record) to a
 # timestamped file so runs can be compared over time.

@@ -25,9 +25,11 @@ import (
 	"fragdroid/internal/apk"
 	"fragdroid/internal/artifact"
 	"fragdroid/internal/baseline"
+	"fragdroid/internal/callgraph"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/explorer"
 	"fragdroid/internal/inputgen"
+	"fragdroid/internal/lint"
 	"fragdroid/internal/report"
 	"fragdroid/internal/session"
 	"fragdroid/internal/smali"
@@ -529,6 +531,77 @@ func BenchmarkExploreDemo(b *testing.B) {
 		cases = res.TestCases
 	}
 	b.ReportMetric(float64(cases), "test-cases")
+}
+
+// G1 — whole-program call-graph construction plus both reachability
+// fixpoints over the 15 Table I apps.
+func BenchmarkCallgraphBuild(b *testing.B) {
+	apps := corpusApps(b)
+	b.ResetTimer()
+	var nodes, edges float64
+	for i := 0; i < b.N; i++ {
+		nodes, edges = 0, 0
+		for _, app := range apps {
+			g := callgraph.Build(app, nil)
+			_ = g.Reach(g.LauncherRoots())
+			_ = g.Reach(g.ForcedRoots(g.Activities()))
+			n, e := g.Size()
+			nodes += float64(n)
+			edges += float64(e)
+		}
+	}
+	b.ReportMetric(nodes, "nodes")
+	b.ReportMetric(edges, "edges")
+}
+
+// G2 — the fraglint overhead question on the 217-app study pipeline, through
+// the artifact cache exactly as RunLintStudy uses it. "pipeline" is the cold
+// build-and-extract cost of the dataset; "pipeline+lint" adds the full
+// analyzer suite. The delta between the two is the linting cost and must
+// stay under 10% of the pipeline wall-clock; lint-only isolates the analyzer
+// pass against warm extractions.
+func BenchmarkLintCorpus(b *testing.B) {
+	specs := corpus.StudySpecs(1)
+	pipeline := func(b *testing.B, withLint bool) {
+		var findings float64
+		for i := 0; i < b.N; i++ {
+			cache := artifact.NewCache()
+			findings = 0
+			for _, spec := range specs {
+				ex, err := cache.Extraction(spec)
+				if err != nil {
+					continue // packed apps, as in the study
+				}
+				if withLint {
+					findings += float64(len(lint.Run(ex)))
+				}
+			}
+		}
+		if withLint {
+			b.ReportMetric(findings, "findings")
+		}
+	}
+	b.Run("pipeline", func(b *testing.B) { pipeline(b, false) })
+	b.Run("pipeline+lint", func(b *testing.B) { pipeline(b, true) })
+	b.Run("lint-only", func(b *testing.B) {
+		var exs []*statics.Extraction
+		for _, spec := range specs {
+			ex, err := artifact.Default.Extraction(spec)
+			if err != nil {
+				continue
+			}
+			exs = append(exs, ex)
+		}
+		b.ResetTimer()
+		var findings float64
+		for i := 0; i < b.N; i++ {
+			findings = 0
+			for _, ex := range exs {
+				findings += float64(len(lint.Run(ex)))
+			}
+		}
+		b.ReportMetric(findings, "findings")
+	})
 }
 
 // S1 — session-runtime tracing overhead: one corpus app explored with a

@@ -1,0 +1,174 @@
+// Command fraglint runs the static diagnostics engine over application
+// packages: the whole-program call graph, the reachability fixpoints and the
+// FL001–FL012 analyzers, without ever starting a device.
+//
+// Usage:
+//
+//	fraglint demo                       # lint one built-in app
+//	fraglint ./myapp.sapk com.ebay.mobile
+//	fraglint -builtin                   # lint every built-in corpus app
+//	fraglint -study -parallel 8         # lint the 217-app dataset study
+//	fraglint -severity error -json demo
+//
+// Exit codes: 0 clean at the chosen severity, 1 worst finding is a warning,
+// 2 worst finding is an error, 3 operational failure (bad flag, unreadable
+// app).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/lint"
+	"fragdroid/internal/report"
+	"fragdroid/internal/statics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fraglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit the diagnostics as a JSON array")
+		minSev   = fs.String("severity", "info", "report findings at or above this severity (info, warning, error)")
+		builtin  = fs.Bool("builtin", false, "lint every built-in corpus app (demo + the Table I corpus)")
+		study    = fs.Bool("study", false, "lint the 217-app dataset study and print the summary")
+		seed     = fs.Int64("seed", 1, "dataset variant for -study")
+		parallel = fs.Int("parallel", 1, "apps analyzed concurrently in -study mode")
+		list     = fs.Bool("list", false, "list built-in corpus apps and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	min, err := lint.ParseSeverity(*minSev)
+	if err != nil {
+		fmt.Fprintln(stderr, "fraglint:", err)
+		return 3
+	}
+	if *list {
+		fmt.Fprintln(stdout, "built-in corpus apps:")
+		fmt.Fprintln(stdout, "  demo")
+		for _, row := range corpus.PaperRows() {
+			fmt.Fprintf(stdout, "  %s\n", row.Package)
+		}
+		return 0
+	}
+	if *study {
+		s, err := report.RunLintStudy(report.StudyConfig{Seed: *seed, Parallel: *parallel})
+		if err != nil {
+			fmt.Fprintln(stderr, "fraglint:", err)
+			return 3
+		}
+		fmt.Fprint(stdout, report.RenderLintStudy(s))
+		return exitCode(s.Worst, min)
+	}
+
+	targets := fs.Args()
+	if *builtin {
+		targets = append([]string{"demo"}, packageNames()...)
+	}
+	if len(targets) == 0 {
+		targets = []string{"demo"}
+	}
+
+	var all []lint.Diagnostic
+	for _, target := range targets {
+		app, err := loadApp(target)
+		if err != nil {
+			fmt.Fprintln(stderr, "fraglint:", err)
+			return 3
+		}
+		ex, err := statics.Extract(app)
+		if err != nil {
+			fmt.Fprintf(stderr, "fraglint: %s: %v\n", target, err)
+			return 3
+		}
+		all = append(all, lint.Filter(lint.Run(ex), min)...)
+	}
+
+	if *jsonOut {
+		if all == nil {
+			all = []lint.Diagnostic{}
+		}
+		data, err := json.MarshalIndent(all, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "fraglint:", err)
+			return 3
+		}
+		fmt.Fprintln(stdout, string(data))
+		return exitCode(lint.MaxSeverity(all), min)
+	}
+
+	for _, d := range all {
+		fmt.Fprintf(stdout, "%s: %s\n", d.App, d)
+	}
+	errors, warnings := 0, 0
+	for _, d := range all {
+		switch d.Severity {
+		case lint.SeverityError:
+			errors++
+		case lint.SeverityWarning:
+			warnings++
+		}
+	}
+	if len(all) == 0 {
+		fmt.Fprintf(stdout, "fraglint: clean (%d apps at severity >= %s)\n", len(targets), min)
+	} else {
+		fmt.Fprintf(stdout, "fraglint: %d findings (%d errors, %d warnings) in %d apps\n",
+			len(all), errors, warnings, len(targets))
+	}
+	return exitCode(lint.MaxSeverity(all), min)
+}
+
+// exitCode grades the run: the worst reported severity picks the code, and
+// findings below the reporting threshold never fail the run.
+func exitCode(worst, min lint.Severity) int {
+	if worst < min {
+		return 0
+	}
+	switch worst {
+	case lint.SeverityError:
+		return 2
+	case lint.SeverityWarning:
+		return 1
+	}
+	return 0
+}
+
+func packageNames() []string {
+	var out []string
+	for _, row := range corpus.PaperRows() {
+		out = append(out, row.Package)
+	}
+	return out
+}
+
+// loadApp resolves an app argument exactly like cmd/fragdroid: a .sapk path,
+// the demo app, or a built-in corpus package.
+func loadApp(arg string) (*apk.App, error) {
+	if strings.HasSuffix(arg, ".sapk") {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return apk.LoadBytes(data)
+	}
+	if arg == "demo" || arg == "com.demo.app" {
+		return corpus.BuildApp(corpus.DemoSpec())
+	}
+	for _, row := range corpus.PaperRows() {
+		if row.Package == arg {
+			return corpus.BuildApp(corpus.PaperSpec(row))
+		}
+	}
+	return nil, fmt.Errorf("unknown app %q (try -list)", arg)
+}

@@ -9,6 +9,8 @@
 //	fragstudy -table1           # the Table I coverage run (15 apps)
 //	fragstudy -table2           # the Table II sensitive-operations matrix
 //	fragstudy -compare          # FragDroid vs Activity-level MBT vs Monkey
+//	fragstudy -ceiling          # static reachability ceiling vs dynamic visits
+//	fragstudy -lint             # fraglint across the 217-app dataset
 //	fragstudy -table1 -metrics  # + the per-app session counter table
 //	fragstudy -table1 -trace t.json  # dump the structured event trace
 //
@@ -43,6 +45,8 @@ func run(args []string) error {
 		table2   = fs.Bool("table2", false, "run the Table II sensitive-operations evaluation")
 		compare  = fs.Bool("compare", false, "run the baseline comparison")
 		gap      = fs.Bool("gap", false, "run the static-vs-dynamic sensitive-site comparison")
+		ceiling  = fs.Bool("ceiling", false, "run the static reachability ceiling vs dynamic confirmation table")
+		lintRun  = fs.Bool("lint", false, "run fraglint across the dataset and print the summary")
 		metrics  = fs.Bool("metrics", false, "with -table1/-table2: also print the per-app run-metrics table")
 		trace    = fs.String("trace", "", "write the structured trace events of evaluation runs as JSON to this file (\"-\" for stdout)")
 	)
@@ -63,7 +67,15 @@ func run(args []string) error {
 		cfg.Explorer.Observer = buf
 	}
 
-	if *table1 || *table2 || *gap {
+	if *lintRun {
+		s, err := report.RunLintStudy(report.StudyConfig{Seed: *seed, Parallel: *parallel})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RenderLintStudy(s))
+		return nil
+	}
+	if *table1 || *table2 || *gap || *ceiling {
 		ev, err := report.RunEvaluation(cfg)
 		if err != nil {
 			return err
@@ -76,6 +88,9 @@ func run(args []string) error {
 		}
 		if *gap {
 			fmt.Println(report.RenderGap(ev.StaticDynamicGap()))
+		}
+		if *ceiling {
+			fmt.Println(report.RenderCeiling(ev.BuildCeiling()))
 		}
 		if *metrics {
 			fmt.Println(report.RenderRunMetrics(ev))

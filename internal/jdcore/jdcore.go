@@ -57,6 +57,13 @@ const (
 	StmtSetClickListener
 	// StmtSensitiveCall is an invocation of a sensitive API.
 	StmtSensitiveCall
+	// StmtSendBroadcast is `sendBroadcast(new Intent("action"))`.
+	StmtSendBroadcast
+	// StmtPutExtra is `intent.putExtra("key", "value")`.
+	StmtPutExtra
+	// StmtRequireExtra guards a component on a launching-intent extra; a
+	// missing key force-closes the app.
+	StmtRequireExtra
 	// StmtOther covers statements Algorithm 1 has no interest in.
 	StmtOther
 )
@@ -74,6 +81,8 @@ type Statement struct {
 	Res string
 	// Ident is the handler identifier for StmtSetClickListener.
 	Ident string
+	// Key and Value carry the extra for StmtPutExtra and StmtRequireExtra.
+	Key, Value string
 	// API is the sensitive API name for StmtSensitiveCall.
 	API string
 	// Support is true for getSupportFragmentManager.
@@ -191,9 +200,17 @@ func Lower(ins smali.Instr) Statement {
 		st.Kind = StmtStartActivity
 		st.Source = "startActivity(intent);"
 	case smali.OpSendBroadcast:
-		st.Kind = StmtOther
+		st.Kind = StmtSendBroadcast
 		st.Action = ins.Args[0]
 		st.Source = fmt.Sprintf("sendBroadcast(new Intent(%q));", st.Action)
+	case smali.OpPutExtra:
+		st.Kind = StmtPutExtra
+		st.Key, st.Value = ins.Args[0], ins.Args[1]
+		st.Source = fmt.Sprintf("intent.putExtra(%q, %q);", st.Key, st.Value)
+	case smali.OpRequireExtra:
+		st.Kind = StmtRequireExtra
+		st.Key = ins.Args[0]
+		st.Source = fmt.Sprintf("if (getIntent().getStringExtra(%q) == null) throw new IllegalStateException();", st.Key)
 	case smali.OpNewInstance:
 		st.Kind = StmtNewInstance
 		st.Class1 = ins.Args[0]

@@ -107,8 +107,8 @@ func TestIntentStatements(t *testing.T) {
 	if !strings.Contains(ni.Source, "new Intent(MainActivity.class, NextActivity.class)") {
 		t.Errorf("Source = %q", ni.Source)
 	}
-	if onGo.Statements[1].Kind != StmtOther {
-		t.Errorf("put-extra should lower to StmtOther, got %d", onGo.Statements[1].Kind)
+	if pe := onGo.Statements[1]; pe.Kind != StmtPutExtra || pe.Key != "k" || pe.Value != "v" {
+		t.Errorf("put-extra should lower to StmtPutExtra{k,v}, got %+v", pe)
 	}
 	search := p.Class("com.ex.MainActivity").Method("onSearch")
 	if search.Statements[0].Kind != StmtNewIntentAction || search.Statements[0].Action != "com.ex.SEARCH" {

@@ -166,8 +166,8 @@ func (i Instr) validate() error {
 				return fmt.Errorf("line %d: %s operand %d: %q is not a resource reference", i.Line, i.Op, n+1, a)
 			}
 		case argIdent:
-			if a == "" {
-				return fmt.Errorf("line %d: %s operand %d: empty identifier", i.Line, i.Op, n+1)
+			if !isIdentifier(a) {
+				return fmt.Errorf("line %d: %s operand %d: %q is not an identifier", i.Line, i.Op, n+1, a)
 			}
 		case argStr:
 			// any string, including empty
@@ -176,17 +176,38 @@ func (i Instr) validate() error {
 	return nil
 }
 
-// isDottedClass loosely checks a parsed (dotted) class name.
+// isDottedClass checks a parsed (dotted) class name: one or more non-empty
+// dot-separated segments, each shaped like a Java identifier (a leading
+// letter, '_' or '$'; digits only afterwards). Rejects all-digit and
+// dot-only strings such as "123" or "...".
 func isDottedClass(s string) bool {
+	if s == "" {
+		return false
+	}
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if !isIdentifier(s[start:i]) {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
+}
+
+// isIdentifier checks a Java-identifier-shaped name: a letter, '_' or '$'
+// first, then letters, digits, '_' or '$'. Inner-class segments like
+// "Outer$1" are identifiers under this rule because the digit follows '$'.
+func isIdentifier(s string) bool {
 	if s == "" {
 		return false
 	}
 	for i := 0; i < len(s); i++ {
 		c := s[i]
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
-			c == '.', c == '_', c == '$':
-		default:
+		letter := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '$'
+		digit := c >= '0' && c <= '9'
+		if !letter && !(digit && i > 0) {
 			return false
 		}
 	}

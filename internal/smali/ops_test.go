@@ -1,0 +1,80 @@
+package smali
+
+import "testing"
+
+func TestIsDottedClass(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"com.example.MainActivity", true},
+		{"MainActivity", true},
+		{"com.example.MainActivity$1", true},
+		{"com.example.Outer$Inner", true},
+		{"_private.Cls", true},
+		{"$gen.Cls", true},
+		{"android.support.v4.app.Fragment", true},
+		{"", false},
+		{"123", false},
+		{"...", false},
+		{".", false},
+		{"com..Example", false},
+		{"com.1bad.Cls", false},
+		{".leading.Dot", false},
+		{"trailing.Dot.", false},
+		{"com.example.Main-Activity", false},
+		{"com/example/Main", false},
+		{"9", false},
+	}
+	for _, c := range cases {
+		if got := isDottedClass(c.in); got != c.want {
+			t.Errorf("isDottedClass(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsIdentifier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"onGoNext", true},
+		{"_handler", true},
+		{"$synthetic", true},
+		{"onClick2", true},
+		{"Outer$1", true},
+		{"", false},
+		{"1handler", false},
+		{"on-click", false},
+		{"on click", false},
+		{"on.click", false},
+	}
+	for _, c := range cases {
+		if got := isIdentifier(c.in); got != c.want {
+			t.Errorf("isIdentifier(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsBadOperands(t *testing.T) {
+	bad := []Instr{
+		{Op: OpNewInstance, Args: []string{"123"}, Line: 1},
+		{Op: OpNewInstance, Args: []string{"..."}, Line: 2},
+		{Op: OpSetClickListener, Args: []string{"@id/x", "1handler"}, Line: 3},
+		{Op: OpSetClickListener, Args: []string{"@id/x", "on-click"}, Line: 4},
+	}
+	for _, ins := range bad {
+		if err := ins.validate(); err == nil {
+			t.Errorf("validate(%v) accepted invalid operand", ins)
+		}
+	}
+	good := []Instr{
+		{Op: OpNewInstance, Args: []string{"com.example.HomeFragment"}, Line: 1},
+		{Op: OpSetClickListener, Args: []string{"@id/x", "onNext"}, Line: 2},
+	}
+	for _, ins := range good {
+		if err := ins.validate(); err != nil {
+			t.Errorf("validate(%v) rejected valid operand: %v", ins, err)
+		}
+	}
+}

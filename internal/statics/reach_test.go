@@ -1,0 +1,69 @@
+package statics
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestOwnersOfSorted pins the documented ordering: Activities before
+// Fragments, then by owner class.
+func TestOwnersOfSorted(t *testing.T) {
+	rd := &ResourceDeps{ByWidget: map[string][]WidgetLocation{
+		"@id/shared": {
+			{Ref: "@id/shared", Owner: "com.ex.ZFrag", OwnerKind: OwnerFragment, Layout: "f_z"},
+			{Ref: "@id/shared", Owner: "com.ex.BActivity", OwnerKind: OwnerActivity, Layout: "a_b"},
+			{Ref: "@id/shared", Owner: "com.ex.AFrag", OwnerKind: OwnerFragment, Layout: "f_a"},
+			{Ref: "@id/shared", Owner: "com.ex.AActivity", OwnerKind: OwnerActivity, Layout: "a_a"},
+		},
+	}}
+	got := rd.OwnersOf("@+id/shared")
+	want := []string{"com.ex.AActivity", "com.ex.BActivity", "com.ex.AFrag", "com.ex.ZFrag"}
+	if len(got) != len(want) {
+		t.Fatalf("OwnersOf returned %d locations, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Owner != w {
+			t.Errorf("OwnersOf[%d].Owner = %s, want %s", i, got[i].Owner, w)
+		}
+	}
+	for i, loc := range got[:2] {
+		if loc.OwnerKind != OwnerActivity {
+			t.Errorf("OwnersOf[%d] should be an activity, got %s", i, loc.OwnerKind)
+		}
+	}
+}
+
+// TestExtractionReach checks that Extract wires the call graph and both
+// reachability fixpoints, and that the ceiling is consistent with the
+// effective sets.
+func TestExtractionReach(t *testing.T) {
+	ex := demoExtraction(t)
+	if ex.Graph == nil || ex.StaticReach == nil || ex.LauncherReach == nil {
+		t.Fatal("Extract must populate Graph, StaticReach and LauncherReach")
+	}
+	// Every effective activity is a forced-start root, hence in the ceiling.
+	for _, a := range ex.EffectiveActivities {
+		if !ex.StaticReach.Activities[a] {
+			t.Errorf("effective activity %s missing from StaticReach", a)
+		}
+	}
+	// Launcher-only reach never exceeds the forced-start ceiling.
+	for a := range ex.LauncherReach.Activities {
+		if !ex.StaticReach.Activities[a] {
+			t.Errorf("LauncherReach activity %s missing from StaticReach", a)
+		}
+	}
+	for f := range ex.LauncherReach.Fragments {
+		if !ex.StaticReach.Fragments[f] {
+			t.Errorf("LauncherReach fragment %s missing from StaticReach", f)
+		}
+	}
+	// Statically reachable APIs cover the effective-component sites.
+	static := ex.StaticReach.APIList()
+	for api := range ex.SensitiveSites {
+		i := sort.SearchStrings(static, api)
+		if i >= len(static) || static[i] != api {
+			t.Errorf("SensitiveSites API %s missing from StaticReach.APIs", api)
+		}
+	}
+}

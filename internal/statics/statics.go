@@ -20,6 +20,7 @@ import (
 
 	"fragdroid/internal/aftm"
 	"fragdroid/internal/apk"
+	"fragdroid/internal/callgraph"
 	"fragdroid/internal/jdcore"
 	"fragdroid/internal/layout"
 	"fragdroid/internal/smali"
@@ -67,7 +68,17 @@ type ResourceDeps struct {
 // OwnersOf returns the owner classes of a widget ref, sorted, Activities
 // before Fragments.
 func (r *ResourceDeps) OwnersOf(ref string) []WidgetLocation {
-	return append([]WidgetLocation(nil), r.ByWidget[apk.NormalizeRef(ref)]...)
+	out := append([]WidgetLocation(nil), r.ByWidget[apk.NormalizeRef(ref)]...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i].OwnerKind == OwnerActivity) != (out[j].OwnerKind == OwnerActivity) {
+			return out[i].OwnerKind == OwnerActivity
+		}
+		if out[i].Owner != out[j].Owner {
+			return out[i].Owner < out[j].Owner
+		}
+		return out[i].Layout < out[j].Layout
+	})
+	return out
 }
 
 // IdentifyFragments maps a set of visible widget refs to the Fragment classes
@@ -156,6 +167,16 @@ type Extraction struct {
 	SensitiveSites map[string][]string
 	// LayoutsOf maps a component class to the layout names it inflates.
 	LayoutsOf map[string][]string
+	// Graph is the interprocedural whole-program call/transition graph.
+	Graph *callgraph.Graph
+	// StaticReach is the attainable-coverage ceiling: reachability with the
+	// launcher plus every effective Activity as roots, modelling the
+	// explorer's forced empty-Intent starts (§VI-C). Every component or
+	// sensitive API the dynamic phase can visit is contained in it.
+	StaticReach *callgraph.Reach
+	// LauncherReach is launcher-only reachability: what a user reaches by
+	// clicking from the entry Activity, without forced starts.
+	LauncherReach *callgraph.Reach
 }
 
 // Extract runs the full static phase on a loaded app.
@@ -217,6 +238,12 @@ func Extract(app *apk.App) (*Extraction, error) {
 	// Sensitive-API sites across effective components.
 	ex.SensitiveSites = sensitiveSites(ex.Java, app.Program,
 		ex.EffectiveActivities, ex.EffectiveFragments)
+
+	// Whole-program call graph and the two reachability fixpoints: the
+	// launcher-only view and the forced-start ceiling.
+	ex.Graph = callgraph.Build(app, ex.Java)
+	ex.LauncherReach = ex.Graph.Reach(ex.Graph.LauncherRoots())
+	ex.StaticReach = ex.Graph.Reach(ex.Graph.ForcedRoots(ex.EffectiveActivities))
 
 	return ex, nil
 }
