@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: build test race vet lint bench
+.PHONY: build test race vet lint bench bench-json
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,29 @@ lint: vet
 # timestamped file so runs can be compared over time.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' . | tee BENCH_$(BENCH_STAMP).txt
+
+# bench-json runs the artifact-store benchmark pair (cold write-through study
+# vs warm disk-served study, plus the warm Table I evaluation) and renders
+# the result as JSON — ns/op, B/op, allocs/op per benchmark and the derived
+# cold/warm speedup. BENCHTIME trades accuracy for time (CI uses a short
+# count as a smoke signal; the checked-in BENCH_PR4.json comes from the
+# default).
+BENCHTIME ?= 10x
+BENCH_JSON ?= BENCH_PR4.json
+
+bench-json:
+	$(GO) test -run '^$$' -bench 'StudyColdCache|StudyWarmCache|EvaluationWarmCache' \
+		-benchtime $(BENCHTIME) -benchmem ./internal/report/ \
+	| awk 'BEGIN { print "{"; print "  \"benchmarks\": [" } \
+	/^Benchmark/ { \
+		name = $$1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$$/, "", name); \
+		if (n++) printf ",\n"; \
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			name, $$2, $$3, $$5, $$7; \
+		ns[name] = $$3 } \
+	END { \
+		printf "\n  ]"; \
+		if (ns["StudyColdCache"] > 0 && ns["StudyWarmCache"] > 0) \
+			printf ",\n  \"warm_speedup\": %.2f", ns["StudyColdCache"] / ns["StudyWarmCache"]; \
+		print "\n}" }' > $(BENCH_JSON)
+	@cat $(BENCH_JSON)

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/artifact"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/explorer"
 	"fragdroid/internal/session"
@@ -34,11 +35,20 @@ func run(args []string) error {
 		appArg   = fs.String("app", "demo", "corpus app name or path to a .sapk archive")
 		explored = fs.Bool("explored", false, "run the full exploration and mark visited nodes")
 		trace    = fs.String("trace", "", "write the exploration's structured trace as JSON to this file (implies -explored)")
+		cacheDir = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	app, err := loadApp(*appArg)
+	dir, err := artifact.ResolveDir(*cacheDir)
+	if err != nil {
+		return err
+	}
+	cache, err := artifact.NewPersistentCache(dir)
+	if err != nil {
+		return err
+	}
+	ex, err := loadExtraction(cache, *appArg)
 	if err != nil {
 		return err
 	}
@@ -49,11 +59,11 @@ func run(args []string) error {
 			buf = &session.TraceBuffer{}
 			cfg.Observer = buf
 		}
-		res, err := explorer.Explore(app, cfg)
+		res, err := explorer.ExploreExtracted(ex, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Model.DOT(app.Manifest.Package + " (explored)"))
+		fmt.Println(res.Model.DOT(ex.App.Manifest.Package + " (explored)"))
 		if buf != nil {
 			data, err := buf.JSON()
 			if err != nil {
@@ -65,28 +75,30 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	ex, err := statics.Extract(app)
-	if err != nil {
-		return err
-	}
-	fmt.Println(ex.Model.DOT(app.Manifest.Package + " (static)"))
+	fmt.Println(ex.Model.DOT(ex.App.Manifest.Package + " (static)"))
 	return nil
 }
 
-func loadApp(arg string) (*apk.App, error) {
+// loadExtraction resolves the -app argument to a static extraction, via the
+// artifact cache for spec-built corpus apps.
+func loadExtraction(cache *artifact.Cache, arg string) (*statics.Extraction, error) {
 	if strings.HasSuffix(arg, ".sapk") {
 		data, err := os.ReadFile(arg)
 		if err != nil {
 			return nil, err
 		}
-		return apk.LoadBytes(data)
+		app, err := apk.LoadBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		return statics.Extract(app)
 	}
 	if arg == "demo" || arg == "com.demo.app" {
-		return corpus.BuildApp(corpus.DemoSpec())
+		return cache.Extraction(corpus.DemoSpec())
 	}
 	for _, row := range corpus.PaperRows() {
 		if row.Package == arg {
-			return corpus.BuildApp(corpus.PaperSpec(row))
+			return cache.Extraction(corpus.PaperSpec(row))
 		}
 	}
 	return nil, fmt.Errorf("unknown app %q", arg)

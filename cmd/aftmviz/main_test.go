@@ -1,6 +1,23 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
+
+// TestMain points the default "auto" store at a throwaway directory so tests
+// never touch the user's real artifact cache (and still exercise the
+// persistent path).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "aftmviz-test-cache")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv("FRAGDROID_CACHE", dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
 
 func TestRunStatic(t *testing.T) {
 	if err := run([]string{"-app", "demo"}); err != nil {

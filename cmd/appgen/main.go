@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/artifact"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/robotium"
 	"fragdroid/internal/session"
@@ -30,13 +31,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("appgen", flag.ContinueOnError)
 	var (
-		out   = fs.String("out", "apps", "output directory")
-		which = fs.String("corpus", "paper", "which corpus: demo, paper, study")
-		seed  = fs.Int64("seed", 1, "seed for the study corpus shapes")
-		quiet = fs.Bool("q", false, "suppress per-file output")
-		trace = fs.String("trace", "", "boot each generated app once and write the launch traces as JSON to this file (\"-\" for stdout)")
+		out       = fs.String("out", "apps", "output directory")
+		which     = fs.String("corpus", "paper", "which corpus: demo, paper, study")
+		seed      = fs.Int64("seed", 1, "seed for the study corpus shapes")
+		quiet     = fs.Bool("q", false, "suppress per-file output")
+		trace     = fs.String("trace", "", "boot each generated app once and write the launch traces as JSON to this file (\"-\" for stdout)")
+		cacheFlag = fs.String("cache", "auto", "persistent artifact store for -trace smoke boots: auto, off, or a directory")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir, err := artifact.ResolveDir(*cacheFlag)
+	if err != nil {
+		return err
+	}
+	cache, err := artifact.NewPersistentCache(dir)
+	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -72,7 +82,7 @@ func run(args []string) error {
 			return err
 		}
 		if buf != nil {
-			if err := smokeBoot(spec, buf); err != nil {
+			if err := smokeBoot(cache, spec, buf); err != nil {
 				return fmt.Errorf("smoke boot %s: %w", spec.Package, err)
 			}
 		}
@@ -96,9 +106,11 @@ func run(args []string) error {
 }
 
 // smokeBoot launches a generated app once in a traced single-test-case
-// session — an archive smoke test whose structured events land in buf.
-func smokeBoot(spec *corpus.AppSpec, buf *session.TraceBuffer) error {
-	app, err := corpus.BuildApp(spec)
+// session — an archive smoke test whose structured events land in buf. The
+// booted app comes out of the artifact cache, so a re-run of appgen -trace
+// loads the corpus instead of rebuilding it.
+func smokeBoot(cache *artifact.Cache, spec *corpus.AppSpec, buf *session.TraceBuffer) error {
+	app, err := cache.App(spec)
 	if err != nil {
 		return err
 	}

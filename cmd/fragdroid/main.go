@@ -8,6 +8,10 @@
 //	fragdroid -app ./myapp.sapk                # an app archive on disk
 //	fragdroid -app demo -inputs inputs.json    # with an analyst input file
 //	fragdroid -list                            # list built-in corpus apps
+//
+// Built-in corpus apps and their static extractions persist in the artifact
+// store by default (-cache auto); a repeated run on the same app skips the
+// build and static analysis. -cache takes "auto", "off", or a directory.
 package main
 
 import (
@@ -16,9 +20,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/artifact"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/explorer"
 	"fragdroid/internal/jdcore"
@@ -54,10 +61,26 @@ func run(args []string) error {
 		runTest      = fs.String("run-test", "", "execute a stored test-case JSON file on the app and exit")
 		target       = fs.String("target", "", "targeted mode: drive the app until this sensitive API fires (e.g. location/getProviders)")
 		tracePath    = fs.String("trace", "", "write the structured trace events as JSON to this file (\"-\" for stdout)")
+		cacheDir     = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
+		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf      = fs.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	dir, err := artifact.ResolveDir(*cacheDir)
+	if err != nil {
+		return err
+	}
+	cache, err := artifact.NewPersistentCache(dir)
+	if err != nil {
+		return err
+	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *list {
 		fmt.Println("built-in corpus apps:")
 		fmt.Println("  demo")
@@ -67,13 +90,21 @@ func run(args []string) error {
 		return nil
 	}
 
-	app, err := loadApp(*appArg)
+	app, spec, err := loadApp(cache, *appArg)
 	if err != nil {
 		return err
 	}
+	// extract resolves the app's static extraction — through the artifact
+	// cache for corpus apps (spec-keyed), directly for .sapk archives.
+	extract := func() (*statics.Extraction, error) {
+		if spec != nil {
+			return cache.Extraction(spec)
+		}
+		return statics.Extract(app)
+	}
 
 	if *emitMeta {
-		ex, err := statics.Extract(app)
+		ex, err := extract()
 		if err != nil {
 			return err
 		}
@@ -123,7 +154,7 @@ func run(args []string) error {
 	}
 
 	if *target != "" {
-		ex, err := statics.Extract(app)
+		ex, err := extract()
 		if err != nil {
 			return err
 		}
@@ -135,7 +166,11 @@ func run(args []string) error {
 		return writeTrace(*tracePath, trace)
 	}
 
-	res, err := explorer.Explore(app, cfg)
+	ex, err := extract()
+	if err != nil {
+		return err
+	}
+	res, err := explorer.ExploreExtracted(ex, cfg)
 	if err != nil {
 		return err
 	}
@@ -239,24 +274,69 @@ func writeTestPrograms(dir, pkg string, res *explorer.Result) error {
 	return nil
 }
 
-// loadApp resolves the -app argument to a loaded bundle.
-func loadApp(arg string) (*apk.App, error) {
+// loadApp resolves the -app argument to a loaded bundle. Built-in corpus
+// apps come back with their generating spec and flow through the artifact
+// cache; archives on disk are parsed directly (spec is nil).
+func loadApp(cache *artifact.Cache, arg string) (*apk.App, *corpus.AppSpec, error) {
 	if strings.HasSuffix(arg, ".sapk") {
 		data, err := os.ReadFile(arg)
 		if err != nil {
+			return nil, nil, err
+		}
+		app, err := apk.LoadBytes(data)
+		return app, nil, err
+	}
+	var spec *corpus.AppSpec
+	if arg == "demo" || arg == "com.demo.app" {
+		spec = corpus.DemoSpec()
+	} else {
+		for _, row := range corpus.PaperRows() {
+			if row.Package == arg {
+				spec = corpus.PaperSpec(row)
+				break
+			}
+		}
+	}
+	if spec == nil {
+		return nil, nil, fmt.Errorf("unknown app %q (try -list)", arg)
+	}
+	app, err := cache.App(spec)
+	return app, spec, err
+}
+
+// startProfiles starts CPU profiling and arranges a heap snapshot, per the
+// -cpuprofile/-memprofile flags; the returned stop function finalizes both.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
 			return nil, err
 		}
-		return apk.LoadBytes(data)
-	}
-	if arg == "demo" || arg == "com.demo.app" {
-		return corpus.BuildApp(corpus.DemoSpec())
-	}
-	for _, row := range corpus.PaperRows() {
-		if row.Package == arg {
-			return corpus.BuildApp(corpus.PaperSpec(row))
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
 		}
+		cpuFile = f
 	}
-	return nil, fmt.Errorf("unknown app %q (try -list)", arg)
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable allocations out of the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 func printResult(pkg string, res *explorer.Result, verbose bool) {

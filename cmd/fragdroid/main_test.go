@@ -8,6 +8,20 @@ import (
 	"fragdroid/internal/corpus"
 )
 
+// TestMain points the default "auto" store at a throwaway directory so tests
+// never touch the user's real artifact cache (and still exercise the
+// persistent path).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "fragdroid-test-cache")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv("FRAGDROID_CACHE", dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatalf("run -list: %v", err)

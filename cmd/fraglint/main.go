@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/artifact"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/lint"
 	"fragdroid/internal/report"
@@ -45,8 +46,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "dataset variant for -study")
 		parallel = fs.Int("parallel", 1, "apps analyzed concurrently in -study mode")
 		list     = fs.Bool("list", false, "list built-in corpus apps and exit")
+		cacheDir = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	dir, err := artifact.ResolveDir(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "fraglint:", err)
+		return 3
+	}
+	cache, err := artifact.NewPersistentCache(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "fraglint:", err)
 		return 3
 	}
 	min, err := lint.ParseSeverity(*minSev)
@@ -63,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *study {
-		s, err := report.RunLintStudy(report.StudyConfig{Seed: *seed, Parallel: *parallel})
+		s, err := report.RunLintStudy(report.StudyConfig{Seed: *seed, Parallel: *parallel, Cache: cache})
 		if err != nil {
 			fmt.Fprintln(stderr, "fraglint:", err)
 			return 3
@@ -82,12 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var all []lint.Diagnostic
 	for _, target := range targets {
-		app, err := loadApp(target)
-		if err != nil {
-			fmt.Fprintln(stderr, "fraglint:", err)
-			return 3
-		}
-		ex, err := statics.Extract(app)
+		ex, err := loadExtraction(cache, target)
 		if err != nil {
 			fmt.Fprintf(stderr, "fraglint: %s: %v\n", target, err)
 			return 3
@@ -152,23 +159,34 @@ func packageNames() []string {
 	return out
 }
 
-// loadApp resolves an app argument exactly like cmd/fragdroid: a .sapk path,
-// the demo app, or a built-in corpus package.
-func loadApp(arg string) (*apk.App, error) {
+// loadExtraction resolves an app argument exactly like cmd/fragdroid — a
+// .sapk path, the demo app, or a built-in corpus package — and returns its
+// static extraction, via the artifact cache for spec-built corpus apps.
+func loadExtraction(cache *artifact.Cache, arg string) (*statics.Extraction, error) {
 	if strings.HasSuffix(arg, ".sapk") {
 		data, err := os.ReadFile(arg)
 		if err != nil {
 			return nil, err
 		}
-		return apk.LoadBytes(data)
+		app, err := apk.LoadBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		return statics.Extract(app)
 	}
+	var spec *corpus.AppSpec
 	if arg == "demo" || arg == "com.demo.app" {
-		return corpus.BuildApp(corpus.DemoSpec())
-	}
-	for _, row := range corpus.PaperRows() {
-		if row.Package == arg {
-			return corpus.BuildApp(corpus.PaperSpec(row))
+		spec = corpus.DemoSpec()
+	} else {
+		for _, row := range corpus.PaperRows() {
+			if row.Package == arg {
+				spec = corpus.PaperSpec(row)
+				break
+			}
 		}
 	}
-	return nil, fmt.Errorf("unknown app %q (try -list)", arg)
+	if spec == nil {
+		return nil, fmt.Errorf("unknown app %q (try -list)", arg)
+	}
+	return cache.Extraction(spec)
 }

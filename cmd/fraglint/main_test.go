@@ -15,6 +15,20 @@ import (
 	"fragdroid/internal/smali"
 )
 
+// TestMain points the default "auto" store at a throwaway directory so tests
+// never touch the user's real artifact cache (and still exercise the
+// persistent path).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "fraglint-test-cache")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv("FRAGDROID_CACHE", dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
 // defectApp assembles a small package seeded with one defect per analyzer
 // family the golden test pins: an uncommitted transaction (FL002), a missing
 // click handler (FL004), an undeclared intent target (FL006) and an

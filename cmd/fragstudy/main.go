@@ -13,10 +13,15 @@
 //	fragstudy -lint             # fraglint across the 217-app dataset
 //	fragstudy -table1 -metrics  # + the per-app session counter table
 //	fragstudy -table1 -trace t.json  # dump the structured event trace
+//	fragstudy -cache off        # disable the persistent artifact store
 //
 // -parallel applies to every mode (it must be at least 1) and defaults to
 // the machine's CPU count; results are deterministic and identical to a
 // sequential run.
+//
+// By default built apps and static extractions persist in a content-addressed
+// store (FRAGDROID_CACHE, else the user cache dir), so a second run skips
+// all builds and static analysis. -cache takes "auto", "off", or a directory.
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
+	"fragdroid/internal/artifact"
 	"fragdroid/internal/report"
 	"fragdroid/internal/session"
 )
@@ -49,6 +56,9 @@ func run(args []string) error {
 		lintRun  = fs.Bool("lint", false, "run fraglint across the dataset and print the summary")
 		metrics  = fs.Bool("metrics", false, "with -table1/-table2: also print the per-app run-metrics table")
 		trace    = fs.String("trace", "", "write the structured trace events of evaluation runs as JSON to this file (\"-\" for stdout)")
+		cacheDir = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,9 +66,19 @@ func run(args []string) error {
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
 	}
+	cache, err := openCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg := report.DefaultEvalConfig()
 	cfg.Parallel = *parallel
+	cfg.Cache = cache
 	var buf *session.TraceBuffer
 	if *trace != "" {
 		// One thread-safe buffer sinks the whole (possibly parallel) corpus
@@ -68,7 +88,7 @@ func run(args []string) error {
 	}
 
 	if *lintRun {
-		s, err := report.RunLintStudy(report.StudyConfig{Seed: *seed, Parallel: *parallel})
+		s, err := report.RunLintStudy(report.StudyConfig{Seed: *seed, Parallel: *parallel, Cache: cache})
 		if err != nil {
 			return err
 		}
@@ -106,12 +126,58 @@ func run(args []string) error {
 		return writeTrace(*trace, buf)
 	}
 
-	res, err := report.RunStudyWith(report.StudyConfig{Seed: *seed, Parallel: *parallel})
+	res, err := report.RunStudyWith(report.StudyConfig{Seed: *seed, Parallel: *parallel, Cache: cache})
 	if err != nil {
 		return err
 	}
 	fmt.Println(report.RenderStudy(res))
 	return nil
+}
+
+// openCache maps the -cache flag to an artifact cache: "off" yields a plain
+// in-memory cache, "auto" the conventional store dir (FRAGDROID_CACHE or the
+// user cache dir), anything else a store rooted at that directory.
+func openCache(flagVal string) (*artifact.Cache, error) {
+	dir, err := artifact.ResolveDir(flagVal)
+	if err != nil {
+		return nil, err
+	}
+	return artifact.NewPersistentCache(dir)
+}
+
+// startProfiles starts CPU profiling and arranges a heap snapshot, per the
+// -cpuprofile/-memprofile flags; the returned stop function finalizes both.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable allocations out of the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // writeTrace dumps the collected structured events as a JSON array; "-"

@@ -7,6 +7,20 @@ import (
 	"testing"
 )
 
+// TestMain points the default "auto" store at a throwaway directory so tests
+// never touch the user's real artifact cache (and still exercise the
+// persistent path).
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "fragstudy-test-cache")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv("FRAGDROID_CACHE", dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
 func TestRunStudy(t *testing.T) {
 	if err := run(nil); err != nil {
 		t.Fatalf("run: %v", err)

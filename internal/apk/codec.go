@@ -1,0 +1,380 @@
+package apk
+
+import (
+	"fmt"
+
+	"fragdroid/internal/binc"
+	"fragdroid/internal/layout"
+	"fragdroid/internal/manifest"
+	"fragdroid/internal/res"
+	"fragdroid/internal/smali"
+)
+
+// The app payload is a binc encoding: manifest, then layouts in registration
+// order (sorted by name, as Load and Assemble register them), then classes in
+// program order (sorted archive path). Decoding re-registers and re-adds
+// everything in the exact order of the original construction, so resource-ID
+// numbering and class iteration order come out identical. binc's interned
+// string table is what makes the warm path fast: opcode arguments, access
+// flags and class names repeat across every method body, and each is decoded
+// exactly once.
+
+// EncodeApp serializes a decoded App to the compact binary form DecodeApp
+// reads. Unlike Pack, the output is not a .sapk archive: it captures the
+// already-parsed structures, so decoding skips the parsers entirely.
+func EncodeApp(app *App) ([]byte, error) {
+	w := binc.NewWriter()
+	if app.Manifest == nil {
+		return nil, fmt.Errorf("apk: encode app: missing manifest")
+	}
+	encodeManifest(w, app.Manifest)
+	// Resource-entry count, a sizing hint for the decoder's table.
+	w.Int(app.Resources.Len())
+	names := app.LayoutNames()
+	w.Int(len(names))
+	for _, name := range names {
+		l := app.Layouts[name]
+		if l == nil || l.Root == nil {
+			return nil, fmt.Errorf("apk: encode app: malformed layout %q", name)
+		}
+		w.Str(l.Name)
+		// Node count ahead of the tree, so the decoder allocates the whole
+		// tree as one arena.
+		w.Int(countWidgets(l.Root))
+		encodeWidget(w, l.Root)
+	}
+	classNames := app.Program.Names()
+	w.Int(len(classNames))
+	for _, cn := range classNames {
+		encodeClass(w, app.Program.Class(cn))
+	}
+	return w.Bytes(), nil
+}
+
+func encodeManifest(w *binc.Writer, m *manifest.Manifest) {
+	w.Str(m.XMLName.Space)
+	w.Str(m.XMLName.Local)
+	w.Str(m.Package)
+	w.Str(m.VersionName)
+	w.Int(len(m.Permissions))
+	for _, p := range m.Permissions {
+		w.Str(p.Name)
+	}
+	w.Str(m.Application.Label)
+	w.Int(len(m.Application.Activities))
+	for _, a := range m.Application.Activities {
+		w.Str(a.Name)
+		w.Bool(a.Exported)
+		encodeFilters(w, a.Filters)
+	}
+	w.Int(len(m.Application.Receivers))
+	for _, rc := range m.Application.Receivers {
+		w.Str(rc.Name)
+		encodeFilters(w, rc.Filters)
+	}
+}
+
+func encodeFilters(w *binc.Writer, fs []manifest.IntentFilter) {
+	w.Int(len(fs))
+	for _, f := range fs {
+		w.Int(len(f.Actions))
+		for _, a := range f.Actions {
+			w.Str(a.Name)
+		}
+		w.Int(len(f.Categories))
+		for _, c := range f.Categories {
+			w.Str(c.Name)
+		}
+	}
+}
+
+func countWidgets(wd *layout.Widget) int {
+	n := 1
+	for _, c := range wd.Children {
+		n += countWidgets(c)
+	}
+	return n
+}
+
+func encodeWidget(w *binc.Writer, wd *layout.Widget) {
+	w.Str(wd.Type)
+	w.Str(wd.IDRef)
+	w.Str(wd.Text)
+	w.Str(wd.Hint)
+	w.Str(wd.OnClick)
+	w.Bool(wd.Hidden)
+	w.Str(wd.FragmentClass)
+	// Children's nil-ness is preserved (some construction paths leave an
+	// empty non-nil slice), so a decoded app is DeepEqual to its original.
+	w.Bool(wd.Children != nil)
+	w.Int(len(wd.Children))
+	for _, c := range wd.Children {
+		encodeWidget(w, c)
+	}
+}
+
+func encodeClass(w *binc.Writer, c *smali.Class) {
+	w.Str(c.Name)
+	w.Str(c.Super)
+	w.StrSlice(c.Interfaces)
+	w.StrSlice(c.Access)
+	w.Bool(c.RequiresArgs)
+	w.Int(len(c.Fields))
+	for _, f := range c.Fields {
+		w.Str(f.Name)
+		w.Str(f.Descriptor)
+		w.StrSlice(f.Access)
+	}
+	w.Int(len(c.Methods))
+	// Per-class instruction and operand totals size the decoder's arenas.
+	var nInstrs, nArgs int
+	for _, m := range c.Methods {
+		nInstrs += len(m.Body)
+		for _, in := range m.Body {
+			nArgs += len(in.Args)
+		}
+	}
+	w.Int(nInstrs)
+	w.Int(nArgs)
+	for _, m := range c.Methods {
+		w.Str(m.Name)
+		w.StrSlice(m.Access)
+		w.Int(len(m.Body))
+		for _, in := range m.Body {
+			w.Str(string(in.Op))
+			w.StrSlice(in.Args)
+			w.Int(in.Line)
+		}
+	}
+	w.Str(c.SourceFile)
+}
+
+// DecodeApp reconstructs an App from EncodeApp output. The layouts are
+// re-registered and the classes re-added in their stored order, reproducing
+// the resource table and program of the encoded App exactly.
+//
+// DecodeApp trusts its input: it skips the per-class Check, program
+// Validate and bundle Lint that Load and Assemble run, which is what makes a
+// warm load fast. Callers must only feed it payloads whose integrity is
+// established elsewhere (the artifact store verifies a sha256 checksum
+// before handing bytes over).
+func DecodeApp(data []byte) (*App, error) {
+	r, err := binc.NewReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("apk: decode app: %w", err)
+	}
+	m := decodeManifest(r)
+	resHint := r.Int()
+	nLayouts := r.Int()
+	tbl := res.NewTableSized(resHint)
+	layouts := make(map[string]*layout.Layout, nLayouts)
+	for i := 0; i < nLayouts; i++ {
+		l := &layout.Layout{Name: r.Str()}
+		if r.Err() != nil {
+			break
+		}
+		if l.Name == "" {
+			return nil, fmt.Errorf("apk: decode app: malformed layout entry")
+		}
+		if layouts[l.Name] != nil {
+			return nil, fmt.Errorf("apk: decode app: duplicate layout %s", l.Name)
+		}
+		// Define the layout before its widgets and register widget IDs in
+		// decode (= pre-)order: the exact ID numbering Layout.Register
+		// produces, without a second tree walk.
+		if _, err := tbl.Define(res.KindLayout, l.Name); err != nil {
+			return nil, err
+		}
+		arena := make([]layout.Widget, r.Int())
+		var regErr error
+		l.Root, _ = decodeWidget(r, arena, tbl, &regErr)
+		if regErr != nil {
+			return nil, fmt.Errorf("apk: decode app: layout %s: %w", l.Name, regErr)
+		}
+		if r.Err() != nil {
+			break
+		}
+		layouts[l.Name] = l
+	}
+	nClasses := r.Int()
+	prog := smali.NewProgramSized(nClasses)
+	for i := 0; i < nClasses; i++ {
+		c := decodeClass(r)
+		if r.Err() != nil {
+			break
+		}
+		if err := prog.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("apk: decode app: %w", err)
+	}
+	if m.Package == "" {
+		return nil, fmt.Errorf("apk: decode app: missing manifest")
+	}
+	return &App{Manifest: m, Layouts: layouts, Program: prog, Resources: tbl}, nil
+}
+
+func decodeManifest(r *binc.Reader) *manifest.Manifest {
+	m := &manifest.Manifest{}
+	m.XMLName.Space = r.Str()
+	m.XMLName.Local = r.Str()
+	m.Package = r.Str()
+	m.VersionName = r.Str()
+	if n := r.Int(); n > 0 {
+		m.Permissions = make([]manifest.Permission, n)
+		for i := range m.Permissions {
+			m.Permissions[i].Name = r.Str()
+		}
+	}
+	m.Application.Label = r.Str()
+	if n := r.Int(); n > 0 {
+		m.Application.Activities = make([]manifest.Activity, n)
+		for i := range m.Application.Activities {
+			a := &m.Application.Activities[i]
+			a.Name = r.Str()
+			a.Exported = r.Bool()
+			a.Filters = decodeFilters(r)
+		}
+	}
+	if n := r.Int(); n > 0 {
+		m.Application.Receivers = make([]manifest.Receiver, n)
+		for i := range m.Application.Receivers {
+			rc := &m.Application.Receivers[i]
+			rc.Name = r.Str()
+			rc.Filters = decodeFilters(r)
+		}
+	}
+	return m
+}
+
+func decodeFilters(r *binc.Reader) []manifest.IntentFilter {
+	n := r.Int()
+	if n == 0 {
+		return nil
+	}
+	fs := make([]manifest.IntentFilter, n)
+	for i := range fs {
+		if na := r.Int(); na > 0 {
+			fs[i].Actions = make([]manifest.Action, na)
+			for j := range fs[i].Actions {
+				fs[i].Actions[j].Name = r.Str()
+			}
+		}
+		if nc := r.Int(); nc > 0 {
+			fs[i].Categories = make([]manifest.Category, nc)
+			for j := range fs[i].Categories {
+				fs[i].Categories[j].Name = r.Str()
+			}
+		}
+	}
+	return fs
+}
+
+// decodeWidget decodes one widget subtree out of arena, the flat
+// preallocated node backing (the stored node count sizes it), registering
+// widget IDs into tbl as it goes. It returns the unused arena tail; if a
+// corrupt count exhausts the arena early, extra nodes fall back to individual
+// allocations.
+func decodeWidget(r *binc.Reader, arena []layout.Widget, tbl *res.Table, regErr *error) (*layout.Widget, []layout.Widget) {
+	var wd *layout.Widget
+	if len(arena) > 0 {
+		wd, arena = &arena[0], arena[1:]
+	} else {
+		wd = &layout.Widget{}
+	}
+	wd.Type = r.Str()
+	wd.IDRef = r.Str()
+	wd.Text = r.Str()
+	wd.Hint = r.Str()
+	wd.OnClick = r.Str()
+	wd.Hidden = r.Bool()
+	wd.FragmentClass = r.Str()
+	if wd.IDRef != "" && *regErr == nil {
+		if _, err := tbl.ResolveOrDefine(wd.IDRef); err != nil {
+			*regErr = err
+		}
+	}
+	notNil := r.Bool()
+	n := r.Int()
+	if r.Err() != nil {
+		return wd, arena
+	}
+	if notNil {
+		wd.Children = make([]*layout.Widget, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		var c *layout.Widget
+		c, arena = decodeWidget(r, arena, tbl, regErr)
+		wd.Children = append(wd.Children, c)
+		if r.Err() != nil {
+			break
+		}
+	}
+	return wd, arena
+}
+
+func decodeClass(r *binc.Reader) *smali.Class {
+	c := &smali.Class{
+		Name:       r.Str(),
+		Super:      r.Str(),
+		Interfaces: r.StrSlice(),
+		Access:     r.StrSlice(),
+	}
+	c.RequiresArgs = r.Bool()
+	if n := r.Int(); n > 0 {
+		c.Fields = make([]smali.Field, n)
+		for i := range c.Fields {
+			c.Fields[i].Name = r.Str()
+			c.Fields[i].Descriptor = r.Str()
+			c.Fields[i].Access = r.StrSlice()
+		}
+	}
+	if n := r.Int(); n > 0 {
+		c.Methods = make([]*smali.Method, 0, n)
+		// Three arenas for the whole class: methods, instructions and
+		// operand strings, sized by the stored totals. Bodies and Args are
+		// carved out of them, so a class costs a handful of allocations no
+		// matter how many instructions it has.
+		marena := make([]smali.Method, n)
+		iarena := make([]smali.Instr, r.Int())
+		sarena := make([]string, r.Int())
+		for i := 0; i < n; i++ {
+			m := &marena[i]
+			m.Name = r.Str()
+			m.Access = r.StrSlice()
+			nb := r.Int()
+			if nb > 0 && r.Err() == nil {
+				if nb <= len(iarena) {
+					m.Body, iarena = iarena[:nb:nb], iarena[nb:]
+				} else {
+					// Corrupt totals; keep decoding off-arena.
+					m.Body = make([]smali.Instr, nb)
+				}
+				for j := range m.Body {
+					m.Body[j].Op = smali.Op(r.Str())
+					if na := r.Int(); na > 0 && r.Err() == nil {
+						var args []string
+						if na <= len(sarena) {
+							args, sarena = sarena[:na:na], sarena[na:]
+						} else {
+							args = make([]string, na)
+						}
+						for k := range args {
+							args[k] = r.Str()
+						}
+						m.Body[j].Args = args
+					}
+					m.Body[j].Line = r.Int()
+				}
+			}
+			c.Methods = append(c.Methods, m)
+			if r.Err() != nil {
+				break
+			}
+		}
+	}
+	c.SourceFile = r.Str()
+	return c
+}

@@ -1,0 +1,115 @@
+package apk_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/res"
+)
+
+// codecApps builds round-trip fixtures through the real corpus generator
+// (the external test package avoids the corpus->apk import cycle): the demo
+// app plus the structurally richest Table I app, so fragments, receivers,
+// input gates and multi-layout activities all appear in the payload.
+func codecApps(t *testing.T) map[string]*apk.App {
+	t.Helper()
+	apps := make(map[string]*apk.App)
+	specs := []*corpus.AppSpec{corpus.DemoSpec()}
+	for _, row := range corpus.PaperRows() {
+		specs = append(specs, corpus.PaperSpec(row))
+	}
+	for _, spec := range specs {
+		app, err := corpus.BuildApp(spec)
+		if err != nil {
+			t.Fatalf("build %s: %v", spec.Package, err)
+		}
+		apps[spec.Package] = app
+	}
+	return apps
+}
+
+// TestAppCodecRoundTrip checks that DecodeApp(EncodeApp(app)) reproduces
+// every corpus app exactly: manifest, layout trees, program classes in
+// order, and — the subtle part — the resource table, whose ID numbering the
+// decoder must reproduce by re-registering layouts and widget IDs in the
+// original order.
+func TestAppCodecRoundTrip(t *testing.T) {
+	for pkg, app := range codecApps(t) {
+		data, err := apk.EncodeApp(app)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", pkg, err)
+		}
+		got, err := apk.DecodeApp(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", pkg, err)
+		}
+
+		if !reflect.DeepEqual(got.Manifest, app.Manifest) {
+			t.Errorf("%s: manifest differs after round trip", pkg)
+		}
+		if !reflect.DeepEqual(got.Layouts, app.Layouts) {
+			t.Errorf("%s: layouts differ after round trip", pkg)
+		}
+		wantNames := app.Program.Names()
+		gotNames := got.Program.Names()
+		if !reflect.DeepEqual(gotNames, wantNames) {
+			t.Fatalf("%s: class order differs: got %v, want %v", pkg, gotNames, wantNames)
+		}
+		for _, name := range wantNames {
+			if !reflect.DeepEqual(got.Program.Class(name), app.Program.Class(name)) {
+				t.Errorf("%s: class %s differs after round trip", pkg, name)
+			}
+		}
+		checkTableParity(t, pkg, got.Resources, app.Resources)
+	}
+}
+
+// checkTableParity asserts two resource tables are observably identical:
+// same entries in the same ID order, and every name resolves to the same ID.
+// Downstream analyses key on resource IDs, so any numbering drift between a
+// built app and its decoded twin would skew metrics silently.
+func checkTableParity(t *testing.T, pkg string, got, want *res.Table) {
+	t.Helper()
+	ge, we := got.Entries(), want.Entries()
+	if !reflect.DeepEqual(ge, we) {
+		t.Fatalf("%s: resource entries differ:\ngot:  %v\nwant: %v", pkg, ge, we)
+	}
+	for _, e := range we {
+		gid, ok := got.Lookup(e.Kind, e.Name)
+		if !ok {
+			t.Fatalf("%s: decoded table is missing %s/%s", pkg, e.Kind, e.Name)
+		}
+		wid, _ := want.Lookup(e.Kind, e.Name)
+		if gid != wid {
+			t.Fatalf("%s: ID for %s/%s drifted: got %v, want %v", pkg, e.Kind, e.Name, gid, wid)
+		}
+	}
+}
+
+// TestDecodeAppRejectsCorruptPayloads feeds truncations and bit-flips of a
+// valid encoding to DecodeApp. Any outcome but a clean decode or an error is
+// a bug; panics would take down a whole study run.
+func TestDecodeAppRejectsCorruptPayloads(t *testing.T) {
+	app, err := corpus.BuildApp(corpus.DemoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := apk.EncodeApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := apk.DecodeApp(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	for i := 0; i < len(valid); i++ {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		// A flip may survive as a value change (e.g. inside a string); it
+		// must never panic. Decode errors are the expected common case.
+		apk.DecodeApp(mut)
+	}
+}

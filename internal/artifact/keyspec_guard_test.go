@@ -1,0 +1,37 @@
+package artifact
+
+import (
+	"reflect"
+	"testing"
+
+	"fragdroid/internal/corpus"
+)
+
+// TestKeySpecCoversAllFields is the drift guard for appendKeySpec: it pins
+// the exact field list of every spec type the key encoding walks. Adding a
+// field to any of these structs fails this test until appendKeySpec (and the
+// pin below) are updated. Missing a field in the key encoding would let two
+// distinct specs silently share one artifact, which the store could then
+// serve as the wrong app — the one bug class the content-addressed design
+// cannot tolerate.
+func TestKeySpecCoversAllFields(t *testing.T) {
+	pins := map[reflect.Type][]string{
+		reflect.TypeOf(corpus.AppSpec{}):        {"Package", "Downloads", "Activities", "Fragments", "Receivers", "Transition", "Switches", "Packed"},
+		reflect.TypeOf(corpus.ActivitySpec{}):   {"Name", "Launcher", "Isolated", "RequiresExtra", "SupportFM", "PopupOnCreate", "Sensitive", "Wires"},
+		reflect.TypeOf(corpus.FragmentSpec{}):   {"Name", "RequiresArgs", "Sensitive"},
+		reflect.TypeOf(corpus.ReceiverSpec{}):   {"Name", "Actions", "Sensitive", "StartsActivity"},
+		reflect.TypeOf(corpus.Transition{}):     {"From", "To", "Kind", "Action", "Gate"},
+		reflect.TypeOf(corpus.FragmentWire{}):   {"Fragment", "Kind"},
+		reflect.TypeOf(corpus.FragmentSwitch{}): {"From", "To"},
+		reflect.TypeOf(corpus.InputGate{}):      {"Field", "Expected", "Hint"},
+	}
+	for typ, want := range pins {
+		var got []string
+		for i := 0; i < typ.NumField(); i++ {
+			got = append(got, typ.Field(i).Name)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s fields changed: got %v, want %v — update appendKeySpec in cache.go and this pin", typ, got, want)
+		}
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"fragdroid/internal/apk"
 	"fragdroid/internal/artifact"
@@ -29,6 +28,9 @@ type EvalConfig struct {
 	// simulated device). Zero or one means sequential. Results are
 	// positionally ordered either way, so all derived tables are identical.
 	Parallel int
+	// Stages optionally bounds each pipeline stage separately; zero fields
+	// fall back to Parallel. See StageLimits.
+	Stages StageLimits
 	// Cache memoizes app builds and static extractions across runs. Nil
 	// means the process-wide artifact.Default cache.
 	Cache *artifact.Cache
@@ -39,31 +41,6 @@ func (cfg EvalConfig) cache() *artifact.Cache {
 		return cfg.Cache
 	}
 	return artifact.Default
-}
-
-// runIndexed calls fn(0..n-1), on up to parallel goroutines when parallel is
-// greater than one. The semaphore is acquired inside each goroutine so the
-// spawning loop never blocks; results are written into index-addressed slots
-// by fn, keeping aggregation order independent of completion order.
-func runIndexed(parallel, n int, fn func(int)) {
-	if parallel <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			fn(i)
-		}(i)
-	}
-	wg.Wait()
 }
 
 // DefaultEvalConfig uses the full FragDroid feature set with a generous
@@ -110,38 +87,53 @@ func (ev *Evaluation) TotalStats() session.Stats {
 	return total
 }
 
-// RunEvaluation builds the 15 Table I apps and explores each with FragDroid.
-// Builds and static extractions are memoized through cfg's artifact cache, so
-// repeated runs (ablations, benchmarks) only pay for exploration. With
-// cfg.Parallel > 1 the apps run on a pool of simulated devices; the result
-// order (and hence every derived table) is identical to a sequential run
-// because each app's exploration is self-contained and deterministic. Per-app
-// failures are aggregated with errors.Join rather than reported first-only.
+// RunEvaluation builds the 15 Table I apps and explores each with FragDroid,
+// as a staged pipeline: build, extract and explore have independent
+// concurrency limits (cfg.Stages, defaulting to cfg.Parallel), so one app
+// can be exploring while the next is still building. Builds and static
+// extractions are memoized through cfg's artifact cache, so repeated runs
+// (ablations, benchmarks) only pay for exploration. The result order (and
+// hence every derived table) is identical to a sequential run because each
+// app's exploration is self-contained and deterministic and the fold is
+// positional. Per-app failures are aggregated with errors.Join rather than
+// reported first-only.
 func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 	rows := corpus.PaperRows()
 	cache := cfg.cache()
+	limits := cfg.Stages.withDefault(cfg.Parallel)
 	results := make([]AppResult, len(rows))
+	apps := make([]*apk.App, len(rows))
+	exs := make([]*statics.Extraction, len(rows))
 	errs := make([]error, len(rows))
 
-	runIndexed(cfg.Parallel, len(rows), func(i int) {
-		row := rows[i]
-		spec := corpus.PaperSpec(row)
-		app, err := cache.App(spec)
-		if err != nil {
-			errs[i] = fmt.Errorf("report: build %s: %w", row.Package, err)
-			return
-		}
-		ex, err := cache.Extraction(spec)
-		if err != nil {
-			errs[i] = fmt.Errorf("report: extract %s: %w", row.Package, err)
-			return
-		}
-		res, err := explorer.ExploreExtracted(ex, cfg.Explorer)
-		if err != nil {
-			errs[i] = fmt.Errorf("report: explore %s: %w", row.Package, err)
-			return
-		}
-		results[i] = AppResult{Row: row, App: app, Result: res}
+	runStaged(len(rows), []stage{
+		{limit: limits.Build, fn: func(i int) bool {
+			app, err := cache.App(corpus.PaperSpec(rows[i]))
+			if err != nil {
+				errs[i] = fmt.Errorf("report: build %s: %w", rows[i].Package, err)
+				return false
+			}
+			apps[i] = app
+			return true
+		}},
+		{limit: limits.Extract, fn: func(i int) bool {
+			ex, err := cache.Extraction(corpus.PaperSpec(rows[i]))
+			if err != nil {
+				errs[i] = fmt.Errorf("report: extract %s: %w", rows[i].Package, err)
+				return false
+			}
+			exs[i] = ex
+			return true
+		}},
+		{limit: limits.Run, fn: func(i int) bool {
+			res, err := explorer.ExploreExtracted(exs[i], cfg.Explorer)
+			if err != nil {
+				errs[i] = fmt.Errorf("report: explore %s: %w", rows[i].Package, err)
+				return false
+			}
+			results[i] = AppResult{Row: rows[i], App: apps[i], Result: res}
+			return true
+		}},
 	})
 
 	if err := errors.Join(errs...); err != nil {
@@ -258,6 +250,9 @@ type StudyConfig struct {
 	// sequential; results are identical either way (per-app outcomes are
 	// collected positionally and folded in dataset order).
 	Parallel int
+	// Stages optionally bounds each pipeline stage separately; zero fields
+	// fall back to Parallel. See StageLimits.
+	Stages StageLimits
 	// Cache memoizes app builds across runs. Nil means artifact.Default.
 	Cache *artifact.Cache
 }
@@ -269,31 +264,40 @@ func RunStudy(seed int64) (*StudyResult, error) {
 
 // RunStudyWith performs the §VII-A study: build each app (packed apps fail
 // decompilation, as in the paper) and statically scan the class hierarchy for
-// Fragment subclass usage. Per-app analysis runs on a bounded worker pool
-// when cfg.Parallel > 1; the fold over outcomes is always sequential in
-// dataset order, so counts and the ByCategory breakdown match a serial run
-// exactly.
+// Fragment subclass usage. The build and scan stages pipeline independently
+// (cfg.Stages, defaulting to cfg.Parallel); the fold over outcomes is always
+// sequential in dataset order, so counts and the ByCategory breakdown match
+// a serial run exactly.
 func RunStudyWith(cfg StudyConfig) (*StudyResult, error) {
 	specs := corpus.StudySpecs(cfg.Seed)
 	cache := cfg.cacheOrDefault()
+	limits := cfg.Stages.withDefault(cfg.Parallel)
 
 	type outcome struct {
 		packed    bool
 		fragments bool
 	}
+	apps := make([]*apk.App, len(specs))
 	outs := make([]outcome, len(specs))
 	errs := make([]error, len(specs))
-	runIndexed(cfg.Parallel, len(specs), func(i int) {
-		app, err := cache.App(specs[i])
-		if errors.Is(err, apk.ErrPacked) {
-			outs[i].packed = true
-			return
-		}
-		if err != nil {
-			errs[i] = fmt.Errorf("report: study build %s: %w", specs[i].Package, err)
-			return
-		}
-		outs[i].fragments = usesFragments(app)
+	runStaged(len(specs), []stage{
+		{limit: limits.Build, fn: func(i int) bool {
+			app, err := cache.App(specs[i])
+			if errors.Is(err, apk.ErrPacked) {
+				outs[i].packed = true
+				return false
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("report: study build %s: %w", specs[i].Package, err)
+				return false
+			}
+			apps[i] = app
+			return true
+		}},
+		{limit: limits.Run, fn: func(i int) bool {
+			outs[i].fragments = usesFragments(apps[i])
+			return true
+		}},
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err

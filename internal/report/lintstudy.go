@@ -9,6 +9,7 @@ import (
 	"fragdroid/internal/apk"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/lint"
+	"fragdroid/internal/statics"
 )
 
 // CeilingRow compares, for one corpus app, the static reachability ceiling
@@ -134,29 +135,38 @@ type LintStudy struct {
 }
 
 // RunLintStudy lints every analyzable app of the dataset study, through the
-// same artifact cache (and with the same parallel fold) as the other corpus
-// runs.
+// same artifact cache (and with the same staged pipeline and positional fold)
+// as the other corpus runs.
 func RunLintStudy(cfg StudyConfig) (*LintStudy, error) {
 	specs := corpus.StudySpecs(cfg.Seed)
 	cache := cfg.cacheOrDefault()
+	limits := cfg.Stages.withDefault(cfg.Parallel)
 
 	type outcome struct {
 		packed bool
 		diags  []lint.Diagnostic
 	}
+	exs := make([]*statics.Extraction, len(specs))
 	outs := make([]outcome, len(specs))
 	errs := make([]error, len(specs))
-	runIndexed(cfg.Parallel, len(specs), func(i int) {
-		ex, err := cache.Extraction(specs[i])
-		if errors.Is(err, apk.ErrPacked) {
-			outs[i].packed = true
-			return
-		}
-		if err != nil {
-			errs[i] = fmt.Errorf("report: lint study %s: %w", specs[i].Package, err)
-			return
-		}
-		outs[i].diags = lint.Run(ex)
+	runStaged(len(specs), []stage{
+		{limit: limits.Extract, fn: func(i int) bool {
+			ex, err := cache.Extraction(specs[i])
+			if errors.Is(err, apk.ErrPacked) {
+				outs[i].packed = true
+				return false
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("report: lint study %s: %w", specs[i].Package, err)
+				return false
+			}
+			exs[i] = ex
+			return true
+		}},
+		{limit: limits.Run, fn: func(i int) bool {
+			outs[i].diags = lint.Run(exs[i])
+			return true
+		}},
 	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err

@@ -1,0 +1,109 @@
+package report
+
+import "sync"
+
+// The corpus runs are staged pipelines: every app flows through up to three
+// stages — build (corpus generation or store load), extract (static
+// analysis), run (dynamic exploration or scan) — followed by a sequential
+// fold over positional result slots. Stages have independent concurrency
+// limits, so an app can be exploring while the next one is still building:
+// unlike a flat per-app worker pool, a slow stage only throttles itself, and
+// with a persistent artifact store the disk reads of later apps overlap the
+// compute of earlier ones.
+//
+// Determinism is unaffected by any of this. Stage functions write only to
+// their own index's slots, the fold always walks the slots in dataset order,
+// and per-app errors are aggregated with errors.Join over the positional
+// error slice, so every derived table is identical to a sequential run.
+
+// StageLimits bounds the per-stage concurrency of a pipeline run. Zero
+// fields fall back to the coarse Parallel knob of the owning config, so
+// existing callers that only set Parallel keep their exact behaviour.
+type StageLimits struct {
+	// Build bounds concurrent app builds (or artifact-store loads).
+	Build int
+	// Extract bounds concurrent static extractions.
+	Extract int
+	// Run bounds concurrent dynamic runs (explorations, scans, lints). Each
+	// run owns a simulated device, so this is the stage that controls peak
+	// memory.
+	Run int
+}
+
+// withDefault fills zero fields with the coarse parallelism knob.
+func (l StageLimits) withDefault(parallel int) StageLimits {
+	if l.Build == 0 {
+		l.Build = parallel
+	}
+	if l.Extract == 0 {
+		l.Extract = parallel
+	}
+	if l.Run == 0 {
+		l.Run = parallel
+	}
+	return l
+}
+
+// serial reports whether every stage is capped at one worker; such runs skip
+// goroutines entirely and drive each item through all stages in order.
+func (l StageLimits) serial() bool {
+	return l.Build <= 1 && l.Extract <= 1 && l.Run <= 1
+}
+
+// stage couples one pipeline stage's concurrency limit with its work
+// function. The function receives the item index and reports whether the
+// item continues to the next stage; a false return (error or early outcome,
+// recorded by the closure in its positional slot) drops the item.
+type stage struct {
+	limit int
+	fn    func(i int) bool
+}
+
+// runStaged drives items 0..n-1 through the stages. Each item advances
+// through the stages in order without barriers between items; per-stage
+// semaphores bound how many items occupy a stage at once. With every limit
+// at most one the items run strictly sequentially on the calling goroutine.
+func runStaged(n int, stages []stage) {
+	serial := true
+	for _, s := range stages {
+		if s.limit > 1 {
+			serial = false
+		}
+	}
+	if serial {
+		for i := 0; i < n; i++ {
+			for _, s := range stages {
+				if !s.fn(i) {
+					break
+				}
+			}
+		}
+		return
+	}
+	sems := make([]chan struct{}, len(stages))
+	for j, s := range stages {
+		if s.limit > 0 {
+			sems[j] = make(chan struct{}, s.limit)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j, s := range stages {
+				if sems[j] != nil {
+					sems[j] <- struct{}{}
+				}
+				ok := s.fn(i)
+				if sems[j] != nil {
+					<-sems[j]
+				}
+				if !ok {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"fragdroid/internal/artifact"
+)
+
+// TestWarmCacheMetricParity is the end-to-end guarantee behind the -cache
+// flag: a run served entirely from the persistent store produces bit-
+// identical headline metrics to the cold run that populated it — the study
+// percentages, the Table I averages, and the Table II aggregates. The warm
+// run is additionally required to perform zero builds and zero extractions,
+// so the parity is real (decoded artifacts, not rebuilt ones).
+func TestWarmCacheMetricParity(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := artifact.NewPersistentCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldCfg := DefaultEvalConfig()
+	coldCfg.Cache = cold
+	coldEval, err := RunEvaluation(coldCfg)
+	if err != nil {
+		t.Fatalf("cold RunEvaluation: %v", err)
+	}
+	coldStudy, err := RunStudyWith(StudyConfig{Seed: 1, Cache: cold})
+	if err != nil {
+		t.Fatalf("cold RunStudyWith: %v", err)
+	}
+	if st := cold.Stats(); st.Builds == 0 || st.DiskWrites == 0 {
+		t.Fatalf("cold run did not populate the store: %+v", st)
+	}
+
+	warm, err := artifact.NewPersistentCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := DefaultEvalConfig()
+	warmCfg.Cache = warm
+	warmEval, err := RunEvaluation(warmCfg)
+	if err != nil {
+		t.Fatalf("warm RunEvaluation: %v", err)
+	}
+	warmStudy, err := RunStudyWith(StudyConfig{Seed: 1, Cache: warm})
+	if err != nil {
+		t.Fatalf("warm RunStudyWith: %v", err)
+	}
+	st := warm.Stats()
+	if st.Builds != 0 || st.Extractions != 0 {
+		t.Fatalf("warm run rebuilt artifacts: %+v", st)
+	}
+	if st.DiskMisses != 0 {
+		t.Fatalf("warm run missed the store: %+v", st)
+	}
+
+	// Study: the partition and headline percentage must match exactly.
+	if !reflect.DeepEqual(coldStudy, warmStudy) {
+		t.Errorf("study results differ:\ncold: %+v\nwarm: %+v", coldStudy, warmStudy)
+	}
+	if pct := warmStudy.FragmentSharePct(); pct != coldStudy.FragmentSharePct() {
+		t.Errorf("fragment-usage %% differs: cold %.2f, warm %.2f",
+			coldStudy.FragmentSharePct(), pct)
+	}
+
+	// Table I: per-row equality, then the published averages.
+	t1c, t1w := coldEval.BuildTable1(), warmEval.BuildTable1()
+	if !reflect.DeepEqual(t1c, t1w) {
+		t.Error("Table I differs between cold and warm runs")
+	}
+	ac, fc, vc := t1c.Averages()
+	aw, fw, vw := t1w.Averages()
+	if ac != aw || fc != fw || vc != vw {
+		t.Errorf("Table I averages differ: cold (%v %v %v), warm (%v %v %v)",
+			ac, fc, vc, aw, fw, vw)
+	}
+
+	// Table II: the §VII-C aggregates (46 distinct APIs, 269 invocation
+	// relations in the cold pin) must carry over bit-identically.
+	sc := coldEval.BuildTable2().ComputeStats()
+	sw := warmEval.BuildTable2().ComputeStats()
+	if sc != sw {
+		t.Errorf("Table II stats differ: cold %+v, warm %+v", sc, sw)
+	}
+}

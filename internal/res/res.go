@@ -93,25 +93,36 @@ type Entry struct {
 	ID   ID
 }
 
+// refKey is the composite (kind, name) lookup key. A comparable struct key
+// avoids the per-lookup string concatenation a "kind/name" key would cost on
+// the resolve-heavy static-analysis paths.
+type refKey struct {
+	kind Kind
+	name string
+}
+
 // Table allocates and resolves resource IDs. The zero value is not ready for
 // use; call NewTable.
 type Table struct {
-	byRef  map[string]Entry // "kind/name" -> entry
+	byRef  map[refKey]Entry
 	byID   map[ID]Entry
 	counts map[Kind]uint32
 }
 
 // NewTable returns an empty resource table.
 func NewTable() *Table {
-	return &Table{
-		byRef:  make(map[string]Entry),
-		byID:   make(map[ID]Entry),
-		counts: make(map[Kind]uint32),
-	}
+	return NewTableSized(0)
 }
 
-func refKey(kind Kind, name string) string {
-	return kind.String() + "/" + name
+// NewTableSized returns an empty resource table pre-sized for about hint
+// entries, so bulk loaders (the artifact-store decoder knows the final entry
+// count up front) avoid growing the maps incrementally.
+func NewTableSized(hint int) *Table {
+	return &Table{
+		byRef:  make(map[refKey]Entry, hint),
+		byID:   make(map[ID]Entry, hint),
+		counts: make(map[Kind]uint32),
+	}
 }
 
 // Define allocates an ID for (kind, name), or returns the existing one if the
@@ -123,7 +134,7 @@ func (t *Table) Define(kind Kind, name string) (ID, error) {
 	if _, ok := kindNames[kind]; !ok {
 		return 0, fmt.Errorf("res: unknown resource kind %d", int(kind))
 	}
-	key := refKey(kind, name)
+	key := refKey{kind, name}
 	if e, ok := t.byRef[key]; ok {
 		return e.ID, nil
 	}
@@ -149,7 +160,7 @@ func (t *Table) MustDefine(kind Kind, name string) ID {
 // Lookup resolves (kind, name) to its ID. The boolean result reports whether
 // the resource is defined.
 func (t *Table) Lookup(kind Kind, name string) (ID, bool) {
-	e, ok := t.byRef[refKey(kind, name)]
+	e, ok := t.byRef[refKey{kind, name}]
 	return e.ID, ok
 }
 

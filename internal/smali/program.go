@@ -158,7 +158,15 @@ type Program struct {
 
 // NewProgram returns an empty program.
 func NewProgram() *Program {
-	return &Program{classes: make(map[string]*Class)}
+	return NewProgramSized(0)
+}
+
+// NewProgramSized returns an empty program pre-sized for about hint classes.
+func NewProgramSized(hint int) *Program {
+	return &Program{
+		classes: make(map[string]*Class, hint),
+		order:   make([]string, 0, hint),
+	}
 }
 
 // Add inserts a class. Duplicate class names are an error.

@@ -1,0 +1,101 @@
+package statics_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/statics"
+)
+
+// TestExtractionCodecRoundTrip checks that DecodeExtraction(EncodeExtraction)
+// reproduces every analysis product a consumer can observe, across the demo
+// app and the full paper corpus. The lint analyzers, explorer and report
+// tables read these fields; any drift between a fresh extraction and its
+// decoded twin would silently skew the study metrics a warm cache reports.
+func TestExtractionCodecRoundTrip(t *testing.T) {
+	specs := []*corpus.AppSpec{corpus.DemoSpec()}
+	for _, row := range corpus.PaperRows() {
+		specs = append(specs, corpus.PaperSpec(row))
+	}
+	for _, spec := range specs {
+		app, err := corpus.BuildApp(spec)
+		if err != nil {
+			t.Fatalf("build %s: %v", spec.Package, err)
+		}
+		want, err := statics.Extract(app)
+		if err != nil {
+			t.Fatalf("extract %s: %v", spec.Package, err)
+		}
+		data, err := statics.EncodeExtraction(want)
+		if err != nil {
+			t.Fatalf("encode %s: %v", spec.Package, err)
+		}
+		got, err := statics.DecodeExtraction(data, app)
+		if err != nil {
+			t.Fatalf("decode %s: %v", spec.Package, err)
+		}
+
+		if got.App != app {
+			t.Errorf("%s: decoded extraction not bound to the given app", spec.Package)
+		}
+		check := func(field string, g, w any) {
+			if !reflect.DeepEqual(g, w) {
+				t.Errorf("%s: %s differs after round trip:\ngot:  %+v\nwant: %+v", spec.Package, field, g, w)
+			}
+		}
+		check("EffectiveActivities", got.EffectiveActivities, want.EffectiveActivities)
+		check("EffectiveFragments", got.EffectiveFragments, want.EffectiveFragments)
+		check("Deps", got.Deps, want.Deps)
+		check("ResDeps", got.ResDeps, want.ResDeps)
+		check("InputWidgets", got.InputWidgets, want.InputWidgets)
+		check("UsesFragmentManager", got.UsesFragmentManager, want.UsesFragmentManager)
+		check("SupportFM", got.SupportFM, want.SupportFM)
+		check("Containers", got.Containers, want.Containers)
+		check("TxnCommitted", got.TxnCommitted, want.TxnCommitted)
+		check("SensitiveSites", got.SensitiveSites, want.SensitiveSites)
+		check("LayoutsOf", got.LayoutsOf, want.LayoutsOf)
+		check("StaticReach", got.StaticReach, want.StaticReach)
+		check("LauncherReach", got.LauncherReach, want.LauncherReach)
+		check("Model nodes", got.Model.Nodes(), want.Model.Nodes())
+
+		// The call graph is compared through its public surface.
+		check("Graph nodes", got.Graph.Nodes(), want.Graph.Nodes())
+		check("Graph edges", got.Graph.Edges(), want.Graph.Edges())
+		check("Graph launcher", got.Graph.Launcher(), want.Graph.Launcher())
+		check("Graph activities", got.Graph.Activities(), want.Graph.Activities())
+		check("Graph fragments", got.Graph.Fragments(), want.Graph.Fragments())
+		check("Graph receivers", got.Graph.Receivers(), want.Graph.Receivers())
+		// The Java view is recomputed on decode, not stored; it must still
+		// agree with a fresh decompilation.
+		check("Java class names", got.Java.Names(), want.Java.Names())
+	}
+}
+
+// TestDecodeExtractionRejectsCorruptPayloads truncates a valid payload at
+// every offset: the decoder must error (or, for blob-internal cuts, succeed
+// cleanly) but never panic — corrupted store entries become silent rebuilds.
+func TestDecodeExtractionRejectsCorruptPayloads(t *testing.T) {
+	app, err := corpus.BuildApp(corpus.DemoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := statics.Extract(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := statics.EncodeExtraction(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := statics.DecodeExtraction(valid[:cut], app); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	for i := 0; i < len(valid); i += 3 {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		statics.DecodeExtraction(mut, app)
+	}
+}
