@@ -32,28 +32,40 @@ lint: vet
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' . | tee BENCH_$(BENCH_STAMP).txt
 
-# bench-json runs the artifact-store benchmark pair (cold write-through study
-# vs warm disk-served study, plus the warm Table I evaluation) and renders
-# the result as JSON — ns/op, B/op, allocs/op per benchmark and the derived
-# cold/warm speedup. BENCHTIME trades accuracy for time (CI uses a short
-# count as a smoke signal; the checked-in BENCH_PR4.json comes from the
-# default).
+# bench-json runs the perf-record benchmarks (cold write-through study vs
+# warm disk-served study, plus the warm Table I evaluation with the snapshot
+# memo off and on) and renders the result as JSON. Each benchmark line is
+# parsed by unit token rather than by column, so custom metrics such as the
+# snapshot hit_rate and step_reduction flow through as JSON fields next to
+# ns_per_op/bytes_per_op/allocs_per_op. The derived ratios: warm_speedup is
+# cold/warm on the study, snapshot_speedup is memo-off/memo-on on the
+# evaluation. BENCHTIME trades accuracy for time (CI uses a short count as a
+# smoke signal; the checked-in BENCH_PR5.json comes from BENCHTIME=30x).
 BENCHTIME ?= 10x
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'StudyColdCache|StudyWarmCache|EvaluationWarmCache' \
+	$(GO) test -run '^$$' -bench 'StudyColdCache|StudyWarmCache|EvaluationWarmCache|EvaluationSnapshots' \
 		-benchtime $(BENCHTIME) -benchmem ./internal/report/ \
 	| awk 'BEGIN { print "{"; print "  \"benchmarks\": [" } \
 	/^Benchmark/ { \
 		name = $$1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$$/, "", name); \
+		line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $$2); \
+		for (i = 3; i < NF; i += 2) { \
+			v = $$i; u = $$(i+1); \
+			if (u == "ns/op") { key = "ns_per_op"; ns[name] = v } \
+			else if (u == "B/op") key = "bytes_per_op"; \
+			else if (u == "allocs/op") key = "allocs_per_op"; \
+			else { key = u; gsub(/[^A-Za-z0-9_]/, "_", key) } \
+			line = line sprintf(", \"%s\": %s", key, v); \
+		} \
 		if (n++) printf ",\n"; \
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-			name, $$2, $$3, $$5, $$7; \
-		ns[name] = $$3 } \
+		printf "%s}", line } \
 	END { \
 		printf "\n  ]"; \
 		if (ns["StudyColdCache"] > 0 && ns["StudyWarmCache"] > 0) \
 			printf ",\n  \"warm_speedup\": %.2f", ns["StudyColdCache"] / ns["StudyWarmCache"]; \
+		if (ns["EvaluationWarmCache"] > 0 && ns["EvaluationSnapshots"] > 0) \
+			printf ",\n  \"snapshot_speedup\": %.2f", ns["EvaluationWarmCache"] / ns["EvaluationSnapshots"]; \
 		print "\n}" }' > $(BENCH_JSON)
 	@cat $(BENCH_JSON)

@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"fragdroid/internal/apk"
@@ -60,6 +61,7 @@ func run(args []string) error {
 		curveCSV     = fs.Bool("curve", false, "append the coverage-vs-test-case curve as CSV")
 		runTest      = fs.String("run-test", "", "execute a stored test-case JSON file on the app and exit")
 		target       = fs.String("target", "", "targeted mode: drive the app until this sensitive API fires (e.g. location/getProviders)")
+		snapshots    = fs.String("snapshots", "on", "device snapshot memoization: on, off, or a memo capacity")
 		tracePath    = fs.String("trace", "", "write the structured trace events as JSON to this file (\"-\" for stdout)")
 		cacheDir     = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
 		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -134,10 +136,16 @@ func run(args []string) error {
 		return writeTrace(*tracePath, trace)
 	}
 
+	memo, err := parseSnapshots(*snapshots)
+	if err != nil {
+		return err
+	}
+
 	cfg := explorer.DefaultConfig()
 	cfg.UseReflection = !*noReflection
 	cfg.UseForcedStart = !*noForced
 	cfg.MaxTestCases = *maxCases
+	cfg.Snapshots = memo
 	if trace != nil {
 		cfg.Observer = trace
 	}
@@ -191,6 +199,24 @@ func run(args []string) error {
 		}
 	}
 	return writeTrace(*tracePath, trace)
+}
+
+// parseSnapshots maps the -snapshots flag to a memo: "on" uses the default
+// capacity, "off" disables memoization (every test case re-executes its route
+// from scratch, the paper's literal discipline), and a positive integer
+// bounds the memo at that many snapshots.
+func parseSnapshots(v string) (*session.SnapshotMemo, error) {
+	switch v {
+	case "on":
+		return session.NewSnapshotMemo(0), nil
+	case "off":
+		return nil, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("-snapshots takes on, off, or a positive capacity, got %q", v)
+	}
+	return session.NewSnapshotMemo(n), nil
 }
 
 // writeTrace dumps the collected structured events as a JSON array; "-"

@@ -30,6 +30,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 
 	"fragdroid/internal/artifact"
 	"fragdroid/internal/report"
@@ -55,6 +56,7 @@ func run(args []string) error {
 		ceiling  = fs.Bool("ceiling", false, "run the static reachability ceiling vs dynamic confirmation table")
 		lintRun  = fs.Bool("lint", false, "run fraglint across the dataset and print the summary")
 		metrics  = fs.Bool("metrics", false, "with -table1/-table2: also print the per-app run-metrics table")
+		snaps    = fs.String("snapshots", "on", "device snapshot memoization for evaluation runs: on, off, or a memo capacity")
 		trace    = fs.String("trace", "", "write the structured trace events of evaluation runs as JSON to this file (\"-\" for stdout)")
 		cacheDir = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -76,9 +78,15 @@ func run(args []string) error {
 	}
 	defer stopProf()
 
+	memo, err := parseSnapshots(*snaps)
+	if err != nil {
+		return err
+	}
+
 	cfg := report.DefaultEvalConfig()
 	cfg.Parallel = *parallel
 	cfg.Cache = cache
+	cfg.Snapshots = memo
 	var buf *session.TraceBuffer
 	if *trace != "" {
 		// One thread-safe buffer sinks the whole (possibly parallel) corpus
@@ -132,6 +140,24 @@ func run(args []string) error {
 	}
 	fmt.Println(report.RenderStudy(res))
 	return nil
+}
+
+// parseSnapshots maps the -snapshots flag to a memo: "on" uses the default
+// capacity, "off" disables memoization (every test case re-executes its route
+// from scratch, the paper's literal discipline), and a positive integer
+// bounds the memo at that many snapshots.
+func parseSnapshots(v string) (*session.SnapshotMemo, error) {
+	switch v {
+	case "on":
+		return session.NewSnapshotMemo(0), nil
+	case "off":
+		return nil, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("-snapshots takes on, off, or a positive capacity, got %q", v)
+	}
+	return session.NewSnapshotMemo(n), nil
 }
 
 // openCache maps the -cache flag to an artifact cache: "off" yields a plain

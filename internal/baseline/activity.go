@@ -52,6 +52,9 @@ type ActivityConfig struct {
 	// Observer receives the run's structured trace events (nil disables
 	// tracing).
 	Observer session.Observer
+	// Snapshots lets replays resume from memoized route-prefix snapshots;
+	// nil disables.
+	Snapshots *session.SnapshotMemo
 }
 
 // DefaultActivityConfig mirrors the explorer defaults minus fragment powers.
@@ -81,6 +84,7 @@ func ExploreActivities(app *apk.App, cfg ActivityConfig) (*Result, error) {
 		Budget:      cfg.MaxTestCases,
 		AutoDismiss: true,
 		Observer:    cfg.Observer,
+		Snapshots:   cfg.Snapshots,
 	})
 	if err := e.run(); err != nil {
 		return nil, err

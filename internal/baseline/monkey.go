@@ -22,6 +22,9 @@ type MonkeyConfig struct {
 	// Observer receives the run's structured trace events (nil disables
 	// tracing).
 	Observer session.Observer
+	// Snapshots lets crash/exit restarts restore a memoized launch snapshot
+	// instead of re-interpreting the launch; nil disables.
+	Snapshots *session.SnapshotMemo
 }
 
 // randomWords feed the monkey's text entry; none of them unlock input gates,
@@ -41,6 +44,7 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 
 	visited := make(map[string]bool)
 	restarts := 0
+	restores := 0
 
 	observe := func() {
 		if cur, err := d.CurrentActivity(); err == nil && !visited[cur] {
@@ -50,7 +54,32 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 		}
 	}
 
-	if err := d.LaunchMain(); err != nil {
+	// The monkey's only replayed route is the launch itself: every crash or
+	// exit restarts the app at MAIN/LAUNCHER, so with a memo attached the
+	// restart restores the memoized launch snapshot instead of
+	// re-interpreting the launch. Restore credits the same logical steps and
+	// re-emits the launch's side effects, so counters and observations are
+	// identical to a real relaunch.
+	launchOps := []robotium.Op{robotium.LaunchMain()}
+	launch := func() error {
+		if cfg.Snapshots != nil {
+			if snap, n, _ := cfg.Snapshots.LongestPrefix(app, false, launchOps); n == len(launchOps) {
+				if err := d.Restore(snap); err == nil {
+					restores++
+					return nil
+				}
+			}
+		}
+		if err := d.LaunchMain(); err != nil {
+			return err
+		}
+		if cfg.Snapshots != nil && !d.Crashed() {
+			cfg.Snapshots.Store(app, false, launchOps, d)
+		}
+		return nil
+	}
+
+	if err := launch(); err != nil {
 		return nil, fmt.Errorf("baseline: monkey launch: %w", err)
 	}
 	observe()
@@ -61,7 +90,7 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 				s.MarkCrash(d.CrashReason(), robotium.Script{})
 			}
 			restarts++
-			if err := d.LaunchMain(); err != nil {
+			if err := launch(); err != nil {
 				return nil, err
 			}
 			observe()
@@ -105,6 +134,9 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 	sort.Strings(acts)
 	s.AddTestCases(cfg.Events)
 	s.AddSteps(d.Steps())
+	if restores > 0 {
+		s.AddSnapshot(1, restores, d.RestoredSteps())
+	}
 	s.Notef("monkey done: %d events, %d crashes, %d restarts", cfg.Events, s.Stats().Crashes, restarts)
 	return &Result{
 		VisitedActivities: acts,

@@ -84,15 +84,30 @@ type Device struct {
 	crashed  bool
 	crashMsg string
 
-	steps  int
-	events []string
+	// steps is the logical work counter: interpreted instructions plus
+	// delivered UI events, whether executed or credited by a snapshot
+	// restore. restored is the portion of steps that came from restores.
+	steps    int
+	restored int
+	// journal is the ordered side-effect history since creation: log lines
+	// and sensitive-API emissions. Snapshots capture it so Restore can
+	// re-apply the exact observable stream of the skipped execution.
+	journal []journalEntry
 }
 
 // activityInstance is one live activity on the back stack.
+//
+// The override maps (fragments, listeners, texts, visible) are allocated
+// lazily on first write — most activity starts never touch most of them, and
+// the kill-and-restart discipline makes activity starts the interpreter's
+// hottest allocation site. Readers must tolerate nil maps (indexing a nil map
+// is fine in Go); writers go through the set* helpers.
 type activityInstance struct {
 	class  string
 	intent intent
-	// content is the inflated layout (a mutable clone).
+	// content is the inflated layout. Layout trees are immutable at runtime
+	// (all mutable widget state lives in the override maps below), so content
+	// aliases the installed app's tree — no per-start deep copy.
 	content *layout.Layout
 	// fragments maps container ref -> live fragment, in commit order.
 	fragments map[string]*fragmentInstance
@@ -106,16 +121,45 @@ type activityInstance struct {
 	dialog *dialog
 }
 
+func (t *activityInstance) setText(ref, val string) {
+	if t.texts == nil {
+		t.texts = make(map[string]string)
+	}
+	t.texts[ref] = val
+}
+
+func (t *activityInstance) setVisible(ref string, v bool) {
+	if t.visible == nil {
+		t.visible = make(map[string]bool)
+	}
+	t.visible[ref] = v
+}
+
+func (t *activityInstance) setListener(ref string, h handlerRef) {
+	if t.listeners == nil {
+		t.listeners = make(map[string]handlerRef)
+	}
+	t.listeners[ref] = h
+}
+
 // fragmentInstance is a live fragment inside an activity.
 type fragmentInstance struct {
 	class     string
 	container string
 	content   *layout.Layout
+	// listeners is allocated lazily on first registration.
 	listeners map[string]handlerRef
 	// viaFM tells whether the fragment was committed through a
 	// FragmentTransaction (true) or loaded directly (false). Instrumentation
 	// can only confirm FM-backed fragments.
 	viaFM bool
+}
+
+func (f *fragmentInstance) setListener(ref string, h handlerRef) {
+	if f.listeners == nil {
+		f.listeners = make(map[string]handlerRef)
+	}
+	f.listeners[ref] = h
 }
 
 type handlerRef struct {
@@ -150,16 +194,34 @@ func New(app *apk.App, opts Options) *Device {
 // App returns the installed app.
 func (d *Device) App() *apk.App { return d.app }
 
-// Steps reports the number of interpreted instructions plus delivered UI
-// events since creation; benchmarks use it as the simulator's work measure.
+// Steps reports the logical step count since creation: interpreted
+// instructions plus delivered UI events, including steps credited by a
+// snapshot Restore. Benchmarks and session budgets use it as the simulator's
+// work measure; it is identical whether a route prefix was executed or
+// restored.
 func (d *Device) Steps() int { return d.steps }
 
+// RestoredSteps reports the portion of Steps that was credited by snapshot
+// restores instead of executed — the interpreter work snapshots saved.
+func (d *Device) RestoredSteps() int { return d.restored }
+
+// ExecutedSteps reports the steps the interpreter actually performed.
+func (d *Device) ExecutedSteps() int { return d.steps - d.restored }
+
 // Events returns the device log (driver-visible trace).
-func (d *Device) Events() []string { return append([]string(nil), d.events...) }
+func (d *Device) Events() []string {
+	out := make([]string, 0, len(d.journal))
+	for _, e := range d.journal {
+		if !e.isSens {
+			out = append(out, e.line)
+		}
+	}
+	return out
+}
 
 func (d *Device) logf(format string, args ...any) {
 	line := fmt.Sprintf(format, args...)
-	d.events = append(d.events, line)
+	d.journal = append(d.journal, journalEntry{line: line})
 	if d.opts.Hook != nil {
 		d.opts.Hook(line)
 	}
@@ -298,7 +360,7 @@ func (d *Device) EnterText(ref, value string) error {
 	if !w.Input() {
 		return fmt.Errorf("%w: %s", ErrNotEditable, ref)
 	}
-	t.texts[apk.NormalizeRef(ref)] = value
+	t.setText(apk.NormalizeRef(ref), value)
 	d.logf("enter %q into %s", value, ref)
 	return nil
 }
@@ -336,9 +398,9 @@ func (d *Device) Click(ref string) error {
 			cur = CheckBoxUnchecked
 		}
 		if cur == CheckBoxChecked {
-			t.texts[nref] = CheckBoxUnchecked
+			t.setText(nref, CheckBoxUnchecked)
 		} else {
-			t.texts[nref] = CheckBoxChecked
+			t.setText(nref, CheckBoxChecked)
 		}
 		d.logf("checkbox %s -> %s", ref, t.texts[nref])
 		if h, ok := d.handlerFor(t, w, owner, nref); ok {

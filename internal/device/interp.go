@@ -30,6 +30,12 @@ type txnOp struct {
 	fragment  string
 }
 
+// Lifecycle callback orders, hoisted so starts don't allocate the slice.
+var (
+	activityLifecycle = [...]string{"onCreate", "onStart", "onResume"}
+	fragmentLifecycle = [...]string{"onCreateView", "onStart", "onResume"}
+)
+
 // abortMethod is the sentinel for require-input failures: the rest of the
 // method is skipped but the app keeps running.
 type abortMethod struct{ reason string }
@@ -66,19 +72,12 @@ func (d *Device) startActivity(it intent, depth int) error {
 		d.crash(fmt.Sprintf("ActivityNotFoundException: %s not declared", target))
 		return ErrCrashed
 	}
-	inst := &activityInstance{
-		class:     target,
-		intent:    it,
-		fragments: make(map[string]*fragmentInstance),
-		listeners: make(map[string]handlerRef),
-		texts:     make(map[string]string),
-		visible:   make(map[string]bool),
-	}
+	inst := &activityInstance{class: target, intent: it}
 	d.stack = append(d.stack, inst)
 	d.logf("start %s", target)
 	// Lifecycle: onCreate, then onStart and onResume when defined. A
 	// require-input abort in one callback does not suppress the next.
-	for _, lifecycle := range []string{"onCreate", "onStart", "onResume"} {
+	for _, lifecycle := range activityLifecycle {
 		m := d.methodOf(target, lifecycle)
 		if m == nil {
 			continue
@@ -181,10 +180,13 @@ func (d *Device) exec(ctx *execCtx, ins smali.Instr) error {
 		if l == nil {
 			return crashError{fmt.Sprintf("InflateException: missing layout %s", name)}
 		}
+		// Layout trees are immutable at runtime (all mutable widget state
+		// lives in the activity's override maps), so the installed tree is
+		// attached directly — no per-setContentView deep copy.
 		if ctx.frag != nil {
-			ctx.frag.content = l.Clone()
+			ctx.frag.content = l
 		} else {
-			t.content = l.Clone()
+			t.content = l
 		}
 		// Static <fragment> declarations attach on inflation, managed by the
 		// FragmentManager like real static fragments. Fragment layouts may
@@ -213,9 +215,9 @@ func (d *Device) exec(ctx *execCtx, ins smali.Instr) error {
 		ref := apk.NormalizeRef(ins.Args[0])
 		h := handlerRef{class: ctx.class, method: ins.Args[1]}
 		if ctx.frag != nil {
-			ctx.frag.listeners[ref] = h
+			ctx.frag.setListener(ref, h)
 		} else {
-			t.listeners[ref] = h
+			t.setListener(ref, h)
 		}
 
 	case smali.OpToggleVisible:
@@ -225,19 +227,22 @@ func (d *Device) exec(ctx *execCtx, ins smali.Instr) error {
 			return crashError{fmt.Sprintf("NullPointerException: findViewById(%s)", ins.Args[0])}
 		}
 		_ = w
-		t.visible[ref] = !vis
+		t.setVisible(ref, !vis)
 		d.logf("visibility of %s -> %v", ref, !vis)
 
 	case smali.OpSetText:
-		t.texts[apk.NormalizeRef(ins.Args[0])] = ins.Args[1]
+		t.setText(apk.NormalizeRef(ins.Args[0]), ins.Args[1])
 
 	case smali.OpNewIntent, smali.OpSetClass:
-		ctx.pending = &intent{explicit: ins.Args[1], extras: map[string]string{}}
+		ctx.pending = &intent{explicit: ins.Args[1]}
 	case smali.OpNewIntentAction, smali.OpSetAction:
-		ctx.pending = &intent{action: ins.Args[0], extras: map[string]string{}}
+		ctx.pending = &intent{action: ins.Args[0]}
 	case smali.OpPutExtra:
 		if ctx.pending == nil {
 			return crashError{"NullPointerException: putExtra on null intent"}
+		}
+		if ctx.pending.extras == nil {
+			ctx.pending.extras = make(map[string]string)
 		}
 		ctx.pending.extras[ins.Args[0]] = ins.Args[1]
 	case smali.OpStartActivity:
@@ -331,19 +336,23 @@ func (d *Device) exec(ctx *execCtx, ins smali.Instr) error {
 }
 
 func (d *Device) emitSensitive(ctx *execCtx, api string) {
-	if d.opts.Monitor == nil {
-		return
-	}
 	activity := ""
 	if ctx.act != nil {
 		activity = ctx.act.class
 	}
-	d.opts.Monitor(SensitiveEvent{
+	ev := SensitiveEvent{
 		API:        api,
 		Class:      ctx.class,
 		InFragment: d.app.Program.IsFragmentClass(ctx.class),
 		Activity:   activity,
-	})
+	}
+	// Journal even without a monitor: a snapshot taken on an unmonitored
+	// device must still re-emit the emission stream when restored on a
+	// monitored one.
+	d.journal = append(d.journal, journalEntry{sens: ev, isSens: true})
+	if d.opts.Monitor != nil {
+		d.opts.Monitor(ev)
+	}
 }
 
 // deliverBroadcast runs the onReceive of every manifest receiver subscribed
@@ -391,18 +400,16 @@ func (d *Device) commitFragment(t *activityInstance, container, fragment string,
 	if fc == nil {
 		return crashError{fmt.Sprintf("ClassNotFoundException: %s", fragment)}
 	}
-	f := &fragmentInstance{
-		class:     fragment,
-		container: container,
-		listeners: make(map[string]handlerRef),
-		viaFM:     viaFM,
-	}
+	f := &fragmentInstance{class: fragment, container: container, viaFM: viaFM}
 	if _, exists := t.fragments[container]; !exists {
 		t.fragOrder = append(t.fragOrder, container)
 	}
+	if t.fragments == nil {
+		t.fragments = make(map[string]*fragmentInstance)
+	}
 	t.fragments[container] = f
 	d.logf("fragment %s -> %s (viaFM=%v)", fragment, container, viaFM)
-	for _, lifecycle := range []string{"onCreateView", "onStart", "onResume"} {
+	for _, lifecycle := range fragmentLifecycle {
 		m := d.methodOf(fragment, lifecycle)
 		if m == nil {
 			continue

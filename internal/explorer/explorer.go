@@ -52,6 +52,10 @@ type Config struct {
 	// Observer receives the run's structured trace events (nil disables
 	// tracing; the transcript and counters are produced regardless).
 	Observer session.Observer
+	// Snapshots, when set, lets the session resume route replays from
+	// memoized device snapshots of executed prefixes instead of re-executing
+	// them from launch. Behavior is identical either way; nil disables.
+	Snapshots *session.SnapshotMemo
 
 	// haltOnAPI stops the run as soon as the named sensitive API is observed
 	// (set by ExploreTarget).
@@ -253,6 +257,7 @@ func ExploreExtracted(ex *statics.Extraction, cfg Config) (*Result, error) {
 		TriageCrashes: true,
 		Observer:      cfg.Observer,
 		Coverage:      e.coverage,
+		Snapshots:     cfg.Snapshots,
 	})
 	for _, w := range ex.InputWidgets {
 		e.hints[w.Ref] = w.Hint

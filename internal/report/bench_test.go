@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fragdroid/internal/artifact"
+	"fragdroid/internal/session"
 )
 
 // The cold/warm pair below measures the -cache workflow end to end on the
@@ -76,6 +77,52 @@ func BenchmarkStudyWarmCache(b *testing.B) {
 	if st := check.Stats(); st.Builds != 0 || st.DiskMisses != 0 {
 		b.Fatalf("warm run was not served from disk: %+v", st)
 	}
+}
+
+// BenchmarkEvaluationSnapshots is BenchmarkEvaluationWarmCache with the
+// device-snapshot memo enabled: each iteration runs the Table I evaluation
+// with a fresh shared memo, so route prefixes restore instead of
+// re-executing. The custom metrics report the memo's effect directly:
+// hit_rate is the share of test cases resumed from a snapshot, and
+// step_reduction the factor by which executed interpreter steps shrank
+// (logical steps over executed steps) — the single-core acceptance number.
+func BenchmarkEvaluationSnapshots(b *testing.B) {
+	dir := b.TempDir()
+	seed, err := artifact.NewPersistentCache(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultEvalConfig()
+	cfg.Cache = seed
+	if _, err := RunEvaluation(cfg); err != nil {
+		b.Fatal(err)
+	}
+	var last *Evaluation
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache, err := artifact.NewPersistentCache(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runCfg := DefaultEvalConfig()
+		runCfg.Cache = cache
+		runCfg.Snapshots = session.NewSnapshotMemo(0)
+		b.StartTimer()
+		ev, err := RunEvaluation(runCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = ev
+	}
+	b.StopTimer()
+	tot := last.TotalStats()
+	if tot.SnapshotHits == 0 || tot.StepsSaved == 0 {
+		b.Fatalf("snapshot memo was never hit: %+v", tot)
+	}
+	b.ReportMetric(float64(tot.SnapshotHits)/float64(tot.TestCases), "hit_rate")
+	b.ReportMetric(float64(tot.Steps)/float64(tot.Steps-tot.StepsSaved), "step_reduction")
 }
 
 // BenchmarkEvaluationWarmCache tracks the exploration-dominated Table I run

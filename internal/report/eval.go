@@ -34,6 +34,11 @@ type EvalConfig struct {
 	// Cache memoizes app builds and static extractions across runs. Nil
 	// means the process-wide artifact.Default cache.
 	Cache *artifact.Cache
+	// Snapshots is the device-snapshot memo shared by every engine of the
+	// experiment (explorer and baselines): route replays resume from the
+	// longest memoized prefix instead of re-executing it from launch. All
+	// behavioral outputs are identical either way; nil disables memoization.
+	Snapshots *session.SnapshotMemo
 }
 
 func (cfg EvalConfig) cache() *artifact.Cache {
@@ -126,7 +131,11 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 			return true
 		}},
 		{limit: limits.Run, fn: func(i int) bool {
-			res, err := explorer.ExploreExtracted(exs[i], cfg.Explorer)
+			ecfg := cfg.Explorer
+			if ecfg.Snapshots == nil {
+				ecfg.Snapshots = cfg.Snapshots
+			}
+			res, err := explorer.ExploreExtracted(exs[i], ecfg)
 			if err != nil {
 				errs[i] = fmt.Errorf("report: explore %s: %w", rows[i].Package, err)
 				return false
@@ -458,10 +467,12 @@ func runBaselineSystem(sys string, ev *Evaluation, cfg EvalConfig, seed int64, e
 			bcfg.Inputs = cfg.Explorer.Inputs
 			bcfg.MaxTestCases = cfg.Explorer.MaxTestCases
 			bcfg.Observer = cfg.Explorer.Observer
+			bcfg.Snapshots = cfg.Snapshots
 			res, err = baseline.ExploreActivities(ar.App, bcfg)
 		case "Monkey":
 			res, err = baseline.Monkey(ar.App, baseline.MonkeyConfig{
-				Seed: seed, Events: events, Observer: cfg.Explorer.Observer})
+				Seed: seed, Events: events, Observer: cfg.Explorer.Observer,
+				Snapshots: cfg.Snapshots})
 		default:
 			return ComparisonRow{}, fmt.Errorf("report: unknown system %q", sys)
 		}

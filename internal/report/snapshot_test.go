@@ -1,0 +1,88 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"fragdroid/internal/session"
+)
+
+// TestSnapshotMetricParity is the evaluation-level acceptance gate for the
+// snapshot/restore optimization: the full 15-app evaluation with a shared
+// snapshot memo produces bit-identical headline metrics to the memo-less run
+// — the Table I rows and averages, the Table II aggregates (46 distinct
+// APIs, 269 invocation relations), and every non-snapshot session counter —
+// while actually skipping the majority of interpreter work (≥1.5× fewer
+// executed steps, the single-core criterion).
+func TestSnapshotMetricParity(t *testing.T) {
+	off := evaluation(t) // DefaultEvalConfig leaves Snapshots nil
+
+	cfg := DefaultEvalConfig()
+	cfg.Snapshots = session.NewSnapshotMemo(0)
+	on, err := RunEvaluation(cfg)
+	if err != nil {
+		t.Fatalf("RunEvaluation with snapshots: %v", err)
+	}
+
+	// Table I: identical rows, identical rendering, averages at the pinned
+	// reproduction values either way.
+	t1off, t1on := off.BuildTable1(), on.BuildTable1()
+	if !reflect.DeepEqual(t1off, t1on) {
+		t.Error("Table I differs between snapshots off and on")
+	}
+	if RenderTable1(t1off) != RenderTable1(t1on) {
+		t.Error("Table I rendering differs between snapshots off and on")
+	}
+	aOff, fOff, vOff := t1off.Averages()
+	aOn, fOn, vOn := t1on.Averages()
+	if aOff != aOn || fOff != fOn || vOff != vOn {
+		t.Errorf("Table I averages differ: off (%v %v %v), on (%v %v %v)",
+			aOff, fOff, vOff, aOn, fOn, vOn)
+	}
+
+	// Table II: identical matrix and the §VII-C aggregates.
+	t2off, t2on := off.BuildTable2(), on.BuildTable2()
+	if RenderTable2(t2off) != RenderTable2(t2on) {
+		t.Error("Table II rendering differs between snapshots off and on")
+	}
+	stOff, stOn := t2off.ComputeStats(), t2on.ComputeStats()
+	if stOff != stOn {
+		t.Errorf("Table II stats differ: off %+v, on %+v", stOff, stOn)
+	}
+	if stOn.DistinctAPIs != 46 || stOn.TotalInvocations != 269 {
+		t.Errorf("snapshots-on aggregates = %d APIs / %d invocations, want 46/269",
+			stOn.DistinctAPIs, stOn.TotalInvocations)
+	}
+
+	// Per-app session counters: everything except the snapshot columns must
+	// be identical — same test cases, same logical steps, same crashes.
+	offM, onM := off.RunMetrics(), on.RunMetrics()
+	if len(offM) != len(onM) {
+		t.Fatalf("run-metrics rows differ: %d vs %d", len(offM), len(onM))
+	}
+	for i := range offM {
+		a, b := offM[i].Stats, onM[i].Stats
+		b.SnapshotHits, b.SnapshotRestores, b.StepsSaved = 0, 0, 0
+		if offM[i].Package != onM[i].Package || a != b {
+			t.Errorf("%s: counters diverged:\noff %+v\non  %+v", offM[i].Package, a, b)
+		}
+	}
+
+	// The optimization must be real: snapshots were hit, and the executed
+	// interpreter work shrank by at least the accepted 1.5× factor.
+	tot := on.TotalStats()
+	if tot.SnapshotHits == 0 || tot.SnapshotRestores == 0 {
+		t.Fatalf("snapshots-on evaluation never hit the memo: %+v", tot)
+	}
+	if offTot := off.TotalStats(); offTot.Steps != tot.Steps {
+		t.Errorf("logical steps differ: off %d, on %d", offTot.Steps, tot.Steps)
+	}
+	executed := tot.Steps - tot.StepsSaved
+	if executed <= 0 {
+		t.Fatalf("executed steps = %d with %d saved of %d", executed, tot.StepsSaved, tot.Steps)
+	}
+	if ratio := float64(tot.Steps) / float64(executed); ratio < 1.5 {
+		t.Errorf("executed-step reduction = %.2fx, want >= 1.5x (steps %d, saved %d)",
+			ratio, tot.Steps, tot.StepsSaved)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fragdroid/internal/explorer"
 	"fragdroid/internal/robotium"
 	"fragdroid/internal/sensitive"
+	"fragdroid/internal/session"
 )
 
 // update regenerates the golden fixtures. The fixtures were produced by the
@@ -110,8 +111,10 @@ func renderTranscript(b *strings.Builder, lines []string) {
 
 // runParity produces the full canonical rendering for one corpus app: the
 // FragDroid explorer, the Activity-level baseline, and Monkey, run with the
-// evaluation configurations.
-func runParity(t *testing.T, pkg string) string {
+// evaluation configurations. A non-nil memo is shared by all three engines
+// (the snapshot deployment shape); the combined session stats are returned
+// alongside so snapshot tests can assert the memo was actually exercised.
+func runParity(t *testing.T, pkg string, memo *session.SnapshotMemo) (string, session.Stats) {
 	t.Helper()
 	spec := parityApp(t, pkg)
 	app, err := corpus.BuildApp(spec)
@@ -121,6 +124,7 @@ func runParity(t *testing.T, pkg string) string {
 
 	ecfg := explorer.DefaultConfig()
 	ecfg.MaxTestCases = 4000
+	ecfg.Snapshots = memo
 	eres, err := explorer.Explore(app, ecfg)
 	if err != nil {
 		t.Fatalf("explore %s: %v", pkg, err)
@@ -128,20 +132,22 @@ func runParity(t *testing.T, pkg string) string {
 
 	acfg := baseline.DefaultActivityConfig()
 	acfg.MaxTestCases = 4000
+	acfg.Snapshots = memo
 	ares, err := baseline.ExploreActivities(app, acfg)
 	if err != nil {
 		t.Fatalf("activity baseline %s: %v", pkg, err)
 	}
 
-	mres, err := baseline.Monkey(app, baseline.MonkeyConfig{Seed: 7, Events: 1500})
+	mres, err := baseline.Monkey(app, baseline.MonkeyConfig{Seed: 7, Events: 1500, Snapshots: memo})
 	if err != nil {
 		t.Fatalf("monkey %s: %v", pkg, err)
 	}
 
-	return "app " + pkg + "\n" +
+	out := "app " + pkg + "\n" +
 		renderExplorer(eres) +
 		renderBaseline("activity-baseline", ares) +
 		renderBaseline("monkey", mres)
+	return out, eres.Stats.Add(ares.Stats).Add(mres.Stats)
 }
 
 // TestEngineParityGolden pins that the session-layer port left every engine's
@@ -151,7 +157,7 @@ func TestEngineParityGolden(t *testing.T) {
 	for _, pkg := range parityApps {
 		pkg := pkg
 		t.Run(pkg, func(t *testing.T) {
-			got := runParity(t, pkg)
+			got, _ := runParity(t, pkg, nil)
 			path := filepath.Join("testdata", "parity_"+pkg+".golden")
 			if *update {
 				if err := os.MkdirAll("testdata", 0o755); err != nil {

@@ -45,6 +45,16 @@ type Stats struct {
 	ForcedStarts int `json:"forced_starts"`
 	// InputFills counts input widgets successfully filled.
 	InputFills int `json:"input_fills"`
+	// SnapshotHits counts script executions that resumed from a memoized
+	// route-prefix snapshot instead of re-executing it from launch.
+	SnapshotHits int `json:"snapshot_hits"`
+	// SnapshotRestores counts device restore operations performed (engines
+	// driving a long-lived device may restore several times per billed hit).
+	SnapshotRestores int `json:"snapshot_restores"`
+	// StepsSaved is the interpreter work credited by snapshot restores
+	// instead of executed — Steps counts it either way, so budgets and
+	// reported work are identical with snapshots on or off.
+	StepsSaved int `json:"steps_saved"`
 }
 
 // Add returns the element-wise sum of two stats.
@@ -57,6 +67,9 @@ func (s Stats) Add(o Stats) Stats {
 	s.ReflectionFailures += o.ReflectionFailures
 	s.ForcedStarts += o.ForcedStarts
 	s.InputFills += o.InputFills
+	s.SnapshotHits += o.SnapshotHits
+	s.SnapshotRestores += o.SnapshotRestores
+	s.StepsSaved += o.StepsSaved
 	return s
 }
 
@@ -101,6 +114,12 @@ type Options struct {
 	// Coverage supplies the cumulative visited counts behind the coverage
 	// curve; nil disables curve sampling.
 	Coverage func() (activities, fragments int)
+	// Snapshots, when set, memoizes device snapshots of executed route
+	// prefixes so later script runs resume from the longest memoized prefix
+	// instead of re-executing it from launch. Sharing one memo across the
+	// sessions of an app's run is the point; nil disables memoization (every
+	// run re-executes from scratch, the paper's literal discipline).
+	Snapshots *SnapshotMemo
 }
 
 // Session is one exploration run's shared runtime state.
@@ -241,10 +260,42 @@ func (s *Session) RunOn(d *device.Device, sc robotium.Script, p Purpose) (roboti
 			s.Trace(Event{Kind: KindOp, Script: sc.Name, Op: op.String(), Err: errString(err)})
 		}
 	}
+	// Steps and restored-steps baselines are read before any restore so the
+	// deltas below include the credited prefix — the run is billed the same
+	// logical work whether the prefix was executed or restored.
 	before := d.Steps()
+	beforeRestored := d.RestoredSteps()
+	if memo := s.opts.Snapshots; memo != nil {
+		hashed, hash := 0, fnvOffset
+		snap, n, h := memo.LongestPrefix(s.app, s.opts.AutoDismiss, sc.Ops)
+		if snap != nil && d.Restore(snap) == nil {
+			opts.Resume = n
+			hashed, hash = n, h
+			s.stats.SnapshotHits++
+			s.stats.SnapshotRestores++
+			if s.opts.Observer != nil {
+				// Re-emit the per-op events the skipped execution would
+				// have produced; only successful prefixes are memoized.
+				for _, op := range sc.Ops[:n] {
+					s.Trace(Event{Kind: KindOp, Script: sc.Name, Op: op.String()})
+				}
+			}
+		}
+		opts.Checkpoint = func(executed int) {
+			if d.Crashed() {
+				return // crashed states must never be resumed into
+			}
+			for hashed < executed {
+				hash = hashOp(hash, sc.Ops[hashed])
+				hashed++
+			}
+			memo.store(s.app, s.opts.AutoDismiss, hash, sc.Ops[:executed], d)
+		}
+	}
 	res := robotium.Run(d, sc, opts)
 	delta := d.Steps() - before
 	s.stats.Steps += delta
+	s.stats.StepsSaved += d.RestoredSteps() - beforeRestored
 	if res.Crashed {
 		s.MarkCrash(res.CrashReason, sc)
 	}
@@ -303,6 +354,15 @@ func (s *Session) AddTestCases(n int) { s.stats.TestCases += n }
 
 // AddSteps charges device work performed outside RunOn.
 func (s *Session) AddSteps(n int) { s.stats.Steps += n }
+
+// AddSnapshot charges snapshot accounting performed outside RunOn — engines
+// driving a long-lived device restore restart prefixes themselves and bill
+// the session here.
+func (s *Session) AddSnapshot(hits, restores, stepsSaved int) {
+	s.stats.SnapshotHits += hits
+	s.stats.SnapshotRestores += restores
+	s.stats.StepsSaved += stepsSaved
+}
 
 func errString(err error) string {
 	if err == nil {

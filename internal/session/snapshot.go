@@ -1,0 +1,177 @@
+package session
+
+import (
+	"container/list"
+	"sync"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/device"
+	"fragdroid/internal/robotium"
+)
+
+// DefaultSnapshotCapacity bounds the memo when the caller does not pick a
+// size. One entry holds a deep copy of an activity back stack plus the
+// side-effect journal of its route prefix — modest, so the default is
+// generous enough that real explorations never evict.
+const DefaultSnapshotCapacity = 4096
+
+// SnapshotMemo is an LRU-bounded, concurrency-safe memo of device snapshots
+// keyed by executed route prefixes. Sessions that share a memo resume route
+// execution from the longest memoized prefix instead of re-executing it from
+// launch; because the simulator is deterministic, the state after a prefix is
+// a pure function of (installed app, prefix, auto-dismiss policy), which is
+// exactly the memo key. Snapshots are immutable, so one entry can seed any
+// number of devices concurrently.
+type SnapshotMemo struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recently used
+	idx map[memoKey]*list.Element
+}
+
+// memoKey identifies one memoized prefix. The app pointer stands for the
+// installed-app identity (a re-install is a different pointer, so stale
+// snapshots are unreachable); autoDismiss is part of the key because the
+// dialog policy changes what a prefix execution does; n plus the chained
+// FNV-64a hash identify the operation sequence, with a stored-ops equality
+// check guarding against hash collisions.
+type memoKey struct {
+	app         *apk.App
+	autoDismiss bool
+	n           int
+	hash        uint64
+}
+
+type memoEntry struct {
+	key  memoKey
+	ops  []robotium.Op
+	snap *device.Snapshot
+}
+
+// NewSnapshotMemo returns a memo bounded to capacity entries;
+// capacity <= 0 selects DefaultSnapshotCapacity.
+func NewSnapshotMemo(capacity int) *SnapshotMemo {
+	if capacity <= 0 {
+		capacity = DefaultSnapshotCapacity
+	}
+	return &SnapshotMemo{
+		cap: capacity,
+		lru: list.New(),
+		idx: make(map[memoKey]*list.Element),
+	}
+}
+
+// Len reports the number of memoized prefixes.
+func (m *SnapshotMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
+
+// LongestPrefix finds the longest memoized prefix of ops for the given app
+// and dialog policy. It returns the snapshot, the prefix length, and the
+// chained hash of that prefix (the seed for extending the chain over the
+// remaining ops). On a miss it returns (nil, 0, fnvOffset).
+func (m *SnapshotMemo) LongestPrefix(app *apk.App, autoDismiss bool, ops []robotium.Op) (*device.Snapshot, int, uint64) {
+	if len(ops) == 0 {
+		return nil, 0, fnvOffset
+	}
+	// Chained prefix hashes: hs[i] covers ops[:i].
+	hs := make([]uint64, len(ops)+1)
+	hs[0] = fnvOffset
+	for i, op := range ops {
+		hs[i+1] = hashOp(hs[i], op)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for n := len(ops); n >= 1; n-- {
+		key := memoKey{app: app, autoDismiss: autoDismiss, n: n, hash: hs[n]}
+		el, ok := m.idx[key]
+		if !ok {
+			continue
+		}
+		e := el.Value.(*memoEntry)
+		if !opsEqual(e.ops, ops[:n]) {
+			continue // hash collision: treat as a miss
+		}
+		m.lru.MoveToFront(el)
+		return e.snap, n, hs[n]
+	}
+	return nil, 0, fnvOffset
+}
+
+// Store memoizes the device's current state as the snapshot for ops. An
+// existing entry is kept — the first capture wins, and deterministic
+// execution guarantees any re-capture would be identical — so repeat
+// executions pay only the hash probe, not a deep copy. The caller must only
+// store states actually reached by executing ops from a fresh start (and
+// never crashed ones); sessions do this via the robotium checkpoint hook.
+func (m *SnapshotMemo) Store(app *apk.App, autoDismiss bool, ops []robotium.Op, d *device.Device) {
+	h := fnvOffset
+	for _, op := range ops {
+		h = hashOp(h, op)
+	}
+	m.store(app, autoDismiss, h, ops, d)
+}
+
+// store is Store with the chained hash precomputed — sessions extend the
+// hash incrementally across checkpoints instead of rehashing the prefix.
+func (m *SnapshotMemo) store(app *apk.App, autoDismiss bool, hash uint64, ops []robotium.Op, d *device.Device) {
+	if len(ops) == 0 {
+		return
+	}
+	key := memoKey{app: app, autoDismiss: autoDismiss, n: len(ops), hash: hash}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.idx[key]; ok {
+		m.lru.MoveToFront(el)
+		return
+	}
+	e := &memoEntry{key: key, ops: append([]robotium.Op(nil), ops...), snap: d.Snapshot()}
+	m.idx[key] = m.lru.PushFront(e)
+	for m.lru.Len() > m.cap {
+		back := m.lru.Back()
+		m.lru.Remove(back)
+		delete(m.idx, back.Value.(*memoEntry).key)
+	}
+}
+
+func opsEqual(a, b []robotium.Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FNV-64a, chained over op fields with separators so field boundaries and
+// prefix boundaries cannot alias.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func hashOp(h uint64, op robotium.Op) uint64 {
+	h ^= uint64(op.Kind)
+	h *= fnvPrime
+	h = hashField(h, op.Ref)
+	h = hashField(h, op.Value)
+	h = hashField(h, op.Activity)
+	h = hashField(h, op.Fragment)
+	h = hashField(h, op.Container)
+	return h
+}
+
+func hashField(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	h ^= 0xff // field separator
+	h *= fnvPrime
+	return h
+}

@@ -1,0 +1,266 @@
+package session_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/robotium"
+	"fragdroid/internal/sensitive"
+	"fragdroid/internal/session"
+)
+
+// observations sums a collector's per-API counts.
+func observations(c *sensitive.Collector) int {
+	total := 0
+	for _, u := range c.Usages() {
+		total += u.Count
+	}
+	return total
+}
+
+// TestSnapshotParityGolden is the tentpole's behavioral gate: the same three
+// engines that generated the golden fixtures, now sharing one snapshot memo,
+// must produce byte-identical output — visits, routes, counters, curves,
+// crash reports, collector usages, transcripts — while actually resuming from
+// memoized prefixes (the run fails if no snapshot was ever hit, so the test
+// cannot pass vacuously).
+func TestSnapshotParityGolden(t *testing.T) {
+	for _, pkg := range parityApps {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			memo := session.NewSnapshotMemo(0)
+			got, stats := runParity(t, pkg, memo)
+			if stats.SnapshotHits == 0 || stats.StepsSaved == 0 {
+				t.Fatalf("memo never exercised: hits=%d restores=%d saved=%d",
+					stats.SnapshotHits, stats.SnapshotRestores, stats.StepsSaved)
+			}
+			if memo.Len() == 0 {
+				t.Fatal("memo holds no snapshots after a full run")
+			}
+			path := filepath.Join("testdata", "parity_"+pkg+".golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("snapshots-on run diverged from golden fixture (len got=%d want=%d)\n%s",
+					len(got), len(want), firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+func launchScript() robotium.Script {
+	return robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}}
+}
+
+func demoApp(t *testing.T) *corpus.AppSpec {
+	t.Helper()
+	return corpus.DemoSpec()
+}
+
+// TestSnapshotStepAccounting is the step-budget regression test: a restored
+// prefix must consume exactly the logical step count a real re-execution
+// would, so per-run step deltas — and thus every budget decision — are
+// identical with the memo on and off, while StepsSaved records the executed
+// work avoided.
+func TestSnapshotStepAccounting(t *testing.T) {
+	app, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := launchScript().Append("tab", robotium.Click(corpus.TabButtonRef("Main", "Recent")))
+
+	run := func(memo *session.SnapshotMemo, runs int) (session.Stats, []robotium.Result) {
+		s := session.New(app, session.Options{AutoDismiss: true, Snapshots: memo})
+		var results []robotium.Result
+		for i := 0; i < runs; i++ {
+			_, res, ok := s.RunScript(route, session.PurposeReplay)
+			if !ok || res.Err != nil {
+				t.Fatalf("run %d: ok=%v err=%v", i, ok, res.Err)
+			}
+			results = append(results, res)
+		}
+		return s.Stats(), results
+	}
+
+	plainStats, plainRes := run(nil, 3)
+	memoStats, memoRes := run(session.NewSnapshotMemo(0), 3)
+
+	if plainStats.Steps != memoStats.Steps {
+		t.Errorf("steps diverged: plain %d, memo %d", plainStats.Steps, memoStats.Steps)
+	}
+	if plainStats.TestCases != memoStats.TestCases || plainStats.Crashes != memoStats.Crashes {
+		t.Errorf("counters diverged: plain %+v, memo %+v", plainStats, memoStats)
+	}
+	if !reflect.DeepEqual(plainRes, memoRes) {
+		t.Errorf("script results diverged:\nplain %+v\nmemo  %+v", plainRes, memoRes)
+	}
+	// Runs 2 and 3 are full-script hits: the whole route restores, nothing
+	// executes, and each still bills the full per-run step delta.
+	perRun := plainStats.Steps / 3
+	if memoStats.SnapshotHits != 2 || memoStats.SnapshotRestores != 2 {
+		t.Errorf("hits/restores = %d/%d, want 2/2", memoStats.SnapshotHits, memoStats.SnapshotRestores)
+	}
+	if want := 2 * perRun; memoStats.StepsSaved != want {
+		t.Errorf("steps saved = %d, want %d (two fully restored runs)", memoStats.StepsSaved, want)
+	}
+	if plainStats.StepsSaved != 0 || plainStats.SnapshotHits != 0 {
+		t.Errorf("plain run charged snapshot stats: %+v", plainStats)
+	}
+}
+
+// TestSnapshotPrefixResume pins the evolutionary-loop pattern: a child route
+// extending a memoized parent resumes from the parent's full snapshot and
+// executes only the appended suffix.
+func TestSnapshotPrefixResume(t *testing.T) {
+	app, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := session.NewSnapshotMemo(0)
+	s := session.New(app, session.Options{AutoDismiss: true, Snapshots: memo})
+
+	parent := launchScript()
+	d1, res, ok := s.RunScript(parent, session.PurposeLaunch)
+	if !ok || res.Err != nil {
+		t.Fatalf("parent run: ok=%v err=%v", ok, res.Err)
+	}
+	parentSteps := d1.Steps()
+
+	child := parent.Append("child", robotium.Click(corpus.NavButtonRef("Main", "Detail")))
+	d2, res, ok := s.RunScript(child, session.PurposeReplay)
+	if !ok || res.Err != nil {
+		t.Fatalf("child run: ok=%v err=%v", ok, res.Err)
+	}
+	if res.Executed != len(child.Ops) {
+		t.Errorf("child executed = %d, want %d", res.Executed, len(child.Ops))
+	}
+	if d2.RestoredSteps() != parentSteps {
+		t.Errorf("restored steps = %d, want the parent's %d", d2.RestoredSteps(), parentSteps)
+	}
+	if d2.ExecutedSteps() >= parentSteps {
+		t.Errorf("suffix executed %d steps, not less than the %d-step parent", d2.ExecutedSteps(), parentSteps)
+	}
+	if cur, err := d2.CurrentActivity(); err != nil || cur != "com.demo.app.Detail" {
+		t.Errorf("child landed on %q, %v", cur, err)
+	}
+	if st := s.Stats(); st.SnapshotHits != 1 || st.StepsSaved != parentSteps {
+		t.Errorf("stats = %+v, want 1 hit and %d steps saved", st, parentSteps)
+	}
+}
+
+// TestSnapshotMemoStaleApp pins session-level invalidation: snapshots are
+// keyed by installed-app identity, so after a re-install (a fresh build of
+// the same spec) the memo yields no prefixes and runs execute from scratch.
+func TestSnapshotMemoStaleApp(t *testing.T) {
+	first, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := session.NewSnapshotMemo(0)
+	s1 := session.New(first, session.Options{AutoDismiss: true, Snapshots: memo})
+	if _, res, ok := s1.RunScript(launchScript(), session.PurposeLaunch); !ok || res.Err != nil {
+		t.Fatalf("seed run: ok=%v err=%v", ok, res.Err)
+	}
+	if memo.Len() == 0 {
+		t.Fatal("seed run memoized nothing")
+	}
+
+	reinstalled, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, n, _ := memo.LongestPrefix(reinstalled, true, launchScript().Ops); snap != nil || n != 0 {
+		t.Fatalf("stale snapshot reachable after re-install: n=%d", n)
+	}
+	s2 := session.New(reinstalled, session.Options{AutoDismiss: true, Snapshots: memo})
+	if _, res, ok := s2.RunScript(launchScript(), session.PurposeLaunch); !ok || res.Err != nil {
+		t.Fatalf("re-install run: ok=%v err=%v", ok, res.Err)
+	}
+	if st := s2.Stats(); st.SnapshotHits != 0 || st.StepsSaved != 0 {
+		t.Errorf("re-install run resumed from a stale snapshot: %+v", st)
+	}
+}
+
+// TestSnapshotMemoConcurrent is the -race stress test: many sessions on
+// independent goroutines share one memo while replaying overlapping routes.
+// Every session must end with identical counters and collector observations.
+func TestSnapshotMemoConcurrent(t *testing.T) {
+	app, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 3 is below the run's 4 distinct prefixes, so workers race
+	// through eviction churn as well as hits and stores.
+	memo := session.NewSnapshotMemo(3)
+	routes := []robotium.Script{
+		launchScript(),
+		launchScript().Append("tab", robotium.Click(corpus.TabButtonRef("Main", "Recent"))),
+		launchScript().Append("nav", robotium.Click(corpus.NavButtonRef("Main", "Detail"))),
+		launchScript().Append("drawer",
+			robotium.Click(corpus.NavButtonRef("Main", "Detail")),
+			robotium.Click(corpus.DrawerToggleRef("Detail"))),
+	}
+
+	const workers = 8
+	stats := make([]session.Stats, workers)
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := session.New(app, session.Options{AutoDismiss: true, Snapshots: memo})
+			for i := 0; i < 6; i++ {
+				for _, route := range routes {
+					if _, res, ok := s.RunScript(route, session.PurposeReplay); !ok || res.Err != nil {
+						t.Errorf("worker %d: ok=%v err=%v", w, ok, res.Err)
+						return
+					}
+				}
+			}
+			stats[w] = s.Stats()
+			counts[w] = observations(s.Collector())
+		}()
+	}
+	wg.Wait()
+
+	for w := 1; w < workers; w++ {
+		if stats[w].Steps != stats[0].Steps || stats[w].TestCases != stats[0].TestCases {
+			t.Errorf("worker %d stats diverged: %+v vs %+v", w, stats[w], stats[0])
+		}
+		if counts[w] != counts[0] {
+			t.Errorf("worker %d collector count %d, worker 0 %d", w, counts[w], counts[0])
+		}
+	}
+	if counts[0] == 0 {
+		t.Error("collector observed nothing; test is vacuous")
+	}
+}
+
+// TestSnapshotMemoEviction pins the LRU bound: the memo never exceeds its
+// capacity.
+func TestSnapshotMemoEviction(t *testing.T) {
+	app, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := session.NewSnapshotMemo(2)
+	s := session.New(app, session.Options{AutoDismiss: true, Snapshots: memo})
+	route := launchScript().Append("long",
+		robotium.Click(corpus.NavButtonRef("Main", "Detail")),
+		robotium.Click(corpus.DrawerToggleRef("Detail")),
+		robotium.Click(corpus.MenuButtonRef("Detail", "Settings")))
+	if _, res, ok := s.RunScript(route, session.PurposeReplay); !ok || res.Err != nil {
+		t.Fatalf("run: ok=%v err=%v", ok, res.Err)
+	}
+	if got := memo.Len(); got != 2 {
+		t.Errorf("memo length = %d, want capacity bound 2", got)
+	}
+}
