@@ -33,23 +33,30 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' . | tee BENCH_$(BENCH_STAMP).txt
 
 # bench-json runs the perf-record benchmarks (cold write-through study vs
-# warm disk-served study, plus the warm Table I evaluation with the snapshot
-# memo off and on) and renders the result as JSON. Each benchmark line is
-# parsed by unit token rather than by column, so custom metrics such as the
-# snapshot hit_rate and step_reduction flow through as JSON fields next to
+# warm disk-served study, the warm Table I evaluation with the snapshot memo
+# off, on, and persistent-warm, plus the fleet-speedup curve at 1/2/4
+# devices) and renders the result as JSON. Each benchmark line is parsed by
+# unit token rather than by column, so custom metrics such as the snapshot
+# hit_rate and step_reduction flow through as JSON fields next to
 # ns_per_op/bytes_per_op/allocs_per_op. The derived ratios: warm_speedup is
 # cold/warm on the study, snapshot_speedup is memo-off/memo-on on the
-# evaluation. BENCHTIME trades accuracy for time (CI uses a short count as a
-# smoke signal; the checked-in BENCH_PR5.json comes from BENCHTIME=30x).
+# evaluation, persistent_speedup is memo-cold/persistent-warm on the
+# evaluation, and fleet_speedup_2/_4 are the one-device explorer over the
+# two- and four-device fleets (≈1.0 on a single-core host: the fleet trades
+# idle cores for warm snapshots; host_cpus records GOMAXPROCS for reading
+# the curve). BENCHTIME trades accuracy for time (CI uses a short count as a
+# smoke signal; the checked-in BENCH_PR6.json comes from BENCHTIME=30x).
 BENCHTIME ?= 10x
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'StudyColdCache|StudyWarmCache|EvaluationWarmCache|EvaluationSnapshots' \
+	$(GO) test -run '^$$' -bench 'StudyColdCache|StudyWarmCache|EvaluationWarmCache|EvaluationSnapshots|EvaluationPersistentWarm|FleetExplore1|FleetExplore2|FleetExplore4' \
 		-benchtime $(BENCHTIME) -benchmem ./internal/report/ \
 	| awk 'BEGIN { print "{"; print "  \"benchmarks\": [" } \
 	/^Benchmark/ { \
-		name = $$1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$$/, "", name); \
+		name = $$1; \
+		if (match(name, /-[0-9]+$$/)) cpus = substr(name, RSTART + 1, RLENGTH - 1); \
+		sub(/^Benchmark/, "", name); sub(/-[0-9]+$$/, "", name); \
 		line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $$2); \
 		for (i = 3; i < NF; i += 2) { \
 			v = $$i; u = $$(i+1); \
@@ -63,9 +70,17 @@ bench-json:
 		printf "%s}", line } \
 	END { \
 		printf "\n  ]"; \
+		if (cpus == "") cpus = 1; \
+		printf ",\n  \"host_cpus\": %s", cpus; \
 		if (ns["StudyColdCache"] > 0 && ns["StudyWarmCache"] > 0) \
 			printf ",\n  \"warm_speedup\": %.2f", ns["StudyColdCache"] / ns["StudyWarmCache"]; \
 		if (ns["EvaluationWarmCache"] > 0 && ns["EvaluationSnapshots"] > 0) \
 			printf ",\n  \"snapshot_speedup\": %.2f", ns["EvaluationWarmCache"] / ns["EvaluationSnapshots"]; \
+		if (ns["EvaluationSnapshots"] > 0 && ns["EvaluationPersistentWarm"] > 0) \
+			printf ",\n  \"persistent_speedup\": %.2f", ns["EvaluationSnapshots"] / ns["EvaluationPersistentWarm"]; \
+		if (ns["FleetExplore1"] > 0 && ns["FleetExplore2"] > 0) \
+			printf ",\n  \"fleet_speedup_2\": %.2f", ns["FleetExplore1"] / ns["FleetExplore2"]; \
+		if (ns["FleetExplore1"] > 0 && ns["FleetExplore4"] > 0) \
+			printf ",\n  \"fleet_speedup_4\": %.2f", ns["FleetExplore1"] / ns["FleetExplore4"]; \
 		print "\n}" }' > $(BENCH_JSON)
 	@cat $(BENCH_JSON)

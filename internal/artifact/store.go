@@ -44,20 +44,25 @@ const (
 	// stale, and the next run rebuilds and overwrites.
 	appCodecVersion        = 1
 	extractionCodecVersion = 1
+
+	// snapshotCodecVersion versions the persistent device-snapshot payloads
+	// (device/codec.go plus the op-list framing in session/snapshot.go).
+	snapshotCodecVersion = 1
 )
 
 // Artifact kinds.
 const (
 	kindApp        = "app"
 	kindExtraction = "extraction"
+	kindSnapshot   = "snapshot"
 )
 
 // Fingerprint returns the schema fingerprint stamped into every entry
 // header: container format plus both payload codec versions. Entries written
 // under a different fingerprint are stale and read as misses.
 func Fingerprint() string {
-	return fmt.Sprintf("fdart%d/app%d/ext%d",
-		FormatVersion, appCodecVersion, extractionCodecVersion)
+	return fmt.Sprintf("fdart%d/app%d/ext%d/snap%d",
+		FormatVersion, appCodecVersion, extractionCodecVersion, snapshotCodecVersion)
 }
 
 // Store is a persistent, content-addressed artifact store rooted at one
@@ -74,7 +79,7 @@ func OpenStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("artifact: empty store directory")
 	}
-	for _, k := range []string{kindApp, kindExtraction} {
+	for _, k := range []string{kindApp, kindExtraction, kindSnapshot} {
 		if err := os.MkdirAll(filepath.Join(dir, k), 0o755); err != nil {
 			return nil, fmt.Errorf("artifact: open store: %w", err)
 		}
@@ -185,6 +190,17 @@ func (s *Store) Load(kind, key string) ([]byte, bool) {
 		return nil, false
 	}
 	return payload, true
+}
+
+// LoadSnapshot reads a persisted device-snapshot payload; any integrity
+// problem is a plain miss (the memo re-executes and re-persists).
+func (s *Store) LoadSnapshot(key string) ([]byte, bool) {
+	return s.Load(kindSnapshot, key)
+}
+
+// SaveSnapshot persists a device-snapshot payload under the given key.
+func (s *Store) SaveSnapshot(key string, payload []byte) error {
+	return s.Save(kindSnapshot, key, payload)
 }
 
 // DefaultDir resolves the conventional store location: the FRAGDROID_CACHE

@@ -55,6 +55,11 @@ type ActivityConfig struct {
 	// Snapshots lets replays resume from memoized route-prefix snapshots;
 	// nil disables.
 	Snapshots *session.SnapshotMemo
+	// Devices sets the in-process device fleet size: values above 1 run
+	// Devices-1 warming devices that pre-execute newly discovered activity
+	// routes into the shared memo. Results are identical for any fleet
+	// size; warming requires Snapshots.
+	Devices int
 }
 
 // DefaultActivityConfig mirrors the explorer defaults minus fragment powers.
@@ -66,6 +71,7 @@ type actEngine struct {
 	app     *apk.App
 	cfg     ActivityConfig
 	s       *session.Session
+	fleet   *session.Fleet
 	visited map[string]robotium.Script
 	queue   []string
 }
@@ -86,6 +92,10 @@ func ExploreActivities(app *apk.App, cfg ActivityConfig) (*Result, error) {
 		Observer:    cfg.Observer,
 		Snapshots:   cfg.Snapshots,
 	})
+	if cfg.Devices > 1 && cfg.Snapshots != nil {
+		e.fleet = session.NewFleet(cfg.Devices - 1)
+	}
+	defer e.fleet.Close()
 	if err := e.run(); err != nil {
 		return nil, err
 	}
@@ -108,6 +118,7 @@ func (e *actEngine) visit(activity string, route robotium.Script) {
 	}
 	e.visited[activity] = route
 	e.queue = append(e.queue, activity)
+	e.warmRoute(route)
 	e.s.Trace(session.Event{Kind: session.KindVisit, Activity: activity,
 		Script: route.Name, Ops: len(route.Ops),
 		Msg: fmt.Sprintf("visited activity %s (%d ops)", activity, len(route.Ops))})
@@ -199,6 +210,33 @@ func (e *actEngine) exploreActivity(activity string) {
 			needReplay = true
 		}
 	}
+}
+
+// warmRoute hands a newly discovered activity route to the warming fleet: a
+// private, monitor-less device executes it through the real script runner
+// and publishes the resulting snapshot through the shared memo, so the main
+// loop's later replay of the same route restores instead of re-executing.
+// The snapshot's journal re-emits through the main session's device on
+// restore, so observations happen exactly once, in the right place.
+func (e *actEngine) warmRoute(route robotium.Script) {
+	if e.fleet == nil || len(route.Ops) == 0 {
+		return
+	}
+	memo := e.cfg.Snapshots
+	e.fleet.Submit(func() {
+		d := device.New(e.app, device.Options{})
+		resume := 0
+		if snap, n, _ := memo.LongestPrefix(e.app, true, route.Ops); snap != nil && d.Restore(snap) == nil {
+			resume = n
+		}
+		if resume == len(route.Ops) {
+			return
+		}
+		res := robotium.Run(d, route, robotium.Options{AutoDismiss: true, Resume: resume})
+		if res.Err == nil && !res.Crashed {
+			memo.Store(e.app, true, route.Ops, d)
+		}
+	})
 }
 
 // fillInputs completes visible fields with provided or default values and

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/device"
 	"fragdroid/internal/robotium"
 	"fragdroid/internal/session"
 )
@@ -25,6 +26,11 @@ type MonkeyConfig struct {
 	// Snapshots lets crash/exit restarts restore a memoized launch snapshot
 	// instead of re-interpreting the launch; nil disables.
 	Snapshots *session.SnapshotMemo
+	// Devices sets the in-process device fleet size: values above 1 warm the
+	// launch snapshot on a second device so the first crash restart already
+	// restores. Results are identical for any fleet size; warming requires
+	// Snapshots.
+	Devices int
 }
 
 // randomWords feed the monkey's text entry; none of them unlock input gates,
@@ -61,6 +67,20 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 	// re-emits the launch's side effects, so counters and observations are
 	// identical to a real relaunch.
 	launchOps := []robotium.Op{robotium.LaunchMain()}
+	if cfg.Devices > 1 && cfg.Snapshots != nil {
+		// The monkey's frontier is one prefix deep, so the fleet reduces to a
+		// single warming task: interpret the launch on a private device and
+		// publish its snapshot before the first restart needs it.
+		fleet := session.NewFleet(1)
+		memo := cfg.Snapshots
+		fleet.Submit(func() {
+			w := device.New(app, device.Options{})
+			if w.LaunchMain() == nil && !w.Crashed() {
+				memo.Store(app, false, launchOps, w)
+			}
+		})
+		defer fleet.Close()
+	}
 	launch := func() error {
 		if cfg.Snapshots != nil {
 			if snap, n, _ := cfg.Snapshots.LongestPrefix(app, false, launchOps); n == len(launchOps) {

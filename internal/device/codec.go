@@ -1,0 +1,357 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/binc"
+)
+
+// Snapshot codec: the binc encoding that makes device snapshots persistable
+// through the artifact store. The payload covers the full interpreter state a
+// Snapshot captures — activity back stack with live fragments, listener
+// registrations, text/visibility overrides, intent extras, dialogs, crash
+// state, step count, and the side-effect journal — everything Restore needs to
+// be observationally identical to a re-execution.
+//
+// Layout trees are not serialized: they are immutable at runtime and owned by
+// the installed app, so the codec stores each inflated layout by its name and
+// DecodeSnapshot re-binds content pointers through app.Layouts. That is also
+// why decoding takes the target app: a snapshot only makes sense against the
+// installation whose execution produced it (the persistent memo enforces this
+// with a content fingerprint of the encoded app).
+//
+// Map iteration order is randomized in Go, so every map is written in sorted
+// key order — the encoding of a snapshot is a deterministic function of the
+// state it captures. Nil-ness of the lazily allocated override maps is
+// preserved exactly (a flag byte per map), so decode(encode(s)) round-trips
+// reflect.DeepEqual with s.
+
+// EncodeSnapshot renders a snapshot as a standalone binc payload. Encoding
+// cannot fail: every field is a closed value type.
+func EncodeSnapshot(s *Snapshot) []byte {
+	w := binc.NewWriter()
+	EncodeSnapshotTo(w, s)
+	return w.Bytes()
+}
+
+// EncodeSnapshotTo appends a snapshot to an existing writer, sharing its
+// string table. Snapshot packs use this: journal lines and class names
+// repeat across the prefixes of one app, so a pack-wide table stores each
+// once where standalone payloads would carry a copy per entry.
+func EncodeSnapshotTo(w *binc.Writer, s *Snapshot) {
+	w.Int(s.steps)
+	w.Bool(s.crashed)
+	w.Str(s.crashMsg)
+	w.Int(len(s.journal))
+	for _, e := range s.journal {
+		w.Bool(e.isSens)
+		if e.isSens {
+			w.Str(e.sens.API)
+			w.Str(e.sens.Class)
+			w.Bool(e.sens.InFragment)
+			w.Str(e.sens.Activity)
+		} else {
+			w.Str(e.line)
+		}
+	}
+	w.Bool(s.stack != nil)
+	w.Int(len(s.stack))
+	for _, a := range s.stack {
+		encodeActivity(w, a)
+	}
+}
+
+func encodeActivity(w *binc.Writer, a *activityInstance) {
+	w.Str(a.class)
+	w.Str(a.intent.explicit)
+	w.Str(a.intent.action)
+	encodeStringMap(w, a.intent.extras)
+	encodeLayoutRef(w, a)
+	w.StrSlice(a.fragOrder)
+	encodeHandlerMap(w, a.listeners)
+	encodeStringMap(w, a.texts)
+	encodeBoolMap(w, a.visible)
+	w.Bool(a.fragments != nil)
+	w.Int(len(a.fragments))
+	for _, c := range sortedKeys(a.fragments) {
+		f := a.fragments[c]
+		w.Str(c)
+		w.Str(f.class)
+		w.Str(f.container)
+		encodeFragLayoutRef(w, f)
+		encodeHandlerMap(w, f.listeners)
+		w.Bool(f.viaFM)
+	}
+	w.Bool(a.dialog != nil)
+	if a.dialog != nil {
+		w.Str(a.dialog.text)
+		w.Bool(a.dialog.popup)
+	}
+}
+
+func encodeLayoutRef(w *binc.Writer, a *activityInstance) {
+	w.Bool(a.content != nil)
+	if a.content != nil {
+		w.Str(a.content.Name)
+	}
+}
+
+func encodeFragLayoutRef(w *binc.Writer, f *fragmentInstance) {
+	w.Bool(f.content != nil)
+	if f.content != nil {
+		w.Str(f.content.Name)
+	}
+}
+
+func encodeStringMap(w *binc.Writer, m map[string]string) {
+	w.Bool(m != nil)
+	w.Int(len(m))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.Str(k)
+		w.Str(m[k])
+	}
+}
+
+func encodeBoolMap(w *binc.Writer, m map[string]bool) {
+	w.Bool(m != nil)
+	w.Int(len(m))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.Str(k)
+		w.Bool(m[k])
+	}
+}
+
+func encodeHandlerMap(w *binc.Writer, m map[string]handlerRef) {
+	w.Bool(m != nil)
+	w.Int(len(m))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.Str(k)
+		w.Str(m[k].class)
+		w.Str(m[k].method)
+	}
+}
+
+func sortedKeys(m map[string]*fragmentInstance) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DecodeSnapshot parses an EncodeSnapshot payload, binding inflated layouts
+// through the given app's layout table. It fails on any corruption — a
+// truncated payload, trailing garbage, or a layout name the app does not
+// declare — so callers treat an error as a plain cache miss.
+func DecodeSnapshot(data []byte, app *apk.App) (*Snapshot, error) {
+	r, err := binc.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	s, err := DecodeSnapshotFrom(r, app)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeSnapshotFrom parses one snapshot from an existing reader — the
+// counterpart of EncodeSnapshotTo for pack payloads holding many snapshots
+// behind one string table. It does not check for trailing bytes; the caller
+// owns the reader's framing.
+func DecodeSnapshotFrom(r *binc.Reader, app *apk.App) (*Snapshot, error) {
+	s := &Snapshot{app: app}
+	s.steps = r.Int()
+	s.crashed = r.Bool()
+	s.crashMsg = r.Str()
+	if n := r.Int(); n > 0 {
+		s.journal = make([]journalEntry, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			var e journalEntry
+			e.isSens = r.Bool()
+			if e.isSens {
+				e.sens = SensitiveEvent{
+					API:        r.Str(),
+					Class:      r.Str(),
+					InFragment: r.Bool(),
+					Activity:   r.Str(),
+				}
+			} else {
+				e.line = r.Str()
+			}
+			s.journal = append(s.journal, e)
+		}
+	}
+	hasStack := r.Bool()
+	n := r.Int()
+	if hasStack {
+		s.stack = make([]*activityInstance, 0, n)
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		a, err := decodeActivity(r, app)
+		if err != nil {
+			return nil, err
+		}
+		s.stack = append(s.stack, a)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func decodeActivity(r *binc.Reader, app *apk.App) (*activityInstance, error) {
+	a := &activityInstance{class: r.Str()}
+	a.intent.explicit = r.Str()
+	a.intent.action = r.Str()
+	a.intent.extras = decodeStringMap(r)
+	hasContent := r.Bool()
+	if hasContent {
+		name := r.Str()
+		l, ok := app.Layouts[name]
+		if r.Err() == nil && !ok {
+			return nil, fmt.Errorf("device: snapshot references unknown layout %q", name)
+		}
+		a.content = l
+	}
+	a.fragOrder = r.StrSlice()
+	a.listeners = decodeHandlerMap(r)
+	a.texts = decodeStringMap(r)
+	a.visible = decodeBoolMap(r)
+	hasFrags := r.Bool()
+	nf := r.Int()
+	if hasFrags {
+		a.fragments = make(map[string]*fragmentInstance, nf)
+	}
+	for i := 0; i < nf && r.Err() == nil; i++ {
+		c := r.Str()
+		f := &fragmentInstance{class: r.Str(), container: r.Str()}
+		if r.Bool() {
+			name := r.Str()
+			l, ok := app.Layouts[name]
+			if r.Err() == nil && !ok {
+				return nil, fmt.Errorf("device: snapshot references unknown layout %q", name)
+			}
+			f.content = l
+		}
+		f.listeners = decodeHandlerMap(r)
+		f.viaFM = r.Bool()
+		if a.fragments != nil {
+			a.fragments[c] = f
+		}
+	}
+	if r.Bool() {
+		a.dialog = &dialog{text: r.Str(), popup: r.Bool()}
+	}
+	return a, r.Err()
+}
+
+func decodeStringMap(r *binc.Reader) map[string]string {
+	has := r.Bool()
+	n := r.Int()
+	if !has {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.Str()
+		m[k] = r.Str()
+	}
+	return m
+}
+
+func decodeBoolMap(r *binc.Reader) map[string]bool {
+	has := r.Bool()
+	n := r.Int()
+	if !has {
+		return nil
+	}
+	m := make(map[string]bool, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.Str()
+		m[k] = r.Bool()
+	}
+	return m
+}
+
+func decodeHandlerMap(r *binc.Reader) map[string]handlerRef {
+	has := r.Bool()
+	n := r.Int()
+	if !has {
+		return nil
+	}
+	m := make(map[string]handlerRef, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.Str()
+		m[k] = handlerRef{class: r.Str(), method: r.Str()}
+	}
+	return m
+}
+
+// SizeEstimate approximates the snapshot's pinned memory in bytes — string
+// payloads plus fixed per-structure overheads. It is the memo's BytesPinned
+// gauge, cheap enough to compute on every capture; it deliberately does not
+// charge the shared layout trees or the app itself.
+func (s *Snapshot) SizeEstimate() int {
+	const (
+		entryOverhead    = 48 // journalEntry struct
+		activityOverhead = 160
+		fragmentOverhead = 96
+		mapSlotOverhead  = 48
+	)
+	size := 128 + len(s.crashMsg)
+	for _, e := range s.journal {
+		size += entryOverhead + len(e.line) +
+			len(e.sens.API) + len(e.sens.Class) + len(e.sens.Activity)
+	}
+	for _, a := range s.stack {
+		size += activityOverhead + len(a.class) +
+			len(a.intent.explicit) + len(a.intent.action)
+		for k, v := range a.intent.extras {
+			size += mapSlotOverhead + len(k) + len(v)
+		}
+		for _, c := range a.fragOrder {
+			size += 16 + len(c)
+		}
+		for k, h := range a.listeners {
+			size += mapSlotOverhead + len(k) + len(h.class) + len(h.method)
+		}
+		for k, v := range a.texts {
+			size += mapSlotOverhead + len(k) + len(v)
+		}
+		for k := range a.visible {
+			size += mapSlotOverhead + len(k)
+		}
+		for c, f := range a.fragments {
+			size += fragmentOverhead + len(c) + len(f.class) + len(f.container)
+			for k, h := range f.listeners {
+				size += mapSlotOverhead + len(k) + len(h.class) + len(h.method)
+			}
+		}
+		if a.dialog != nil {
+			size += 32 + len(a.dialog.text)
+		}
+	}
+	return size
+}

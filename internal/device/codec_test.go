@@ -1,0 +1,186 @@
+package device
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"fragdroid/internal/corpus"
+)
+
+// driveRich pushes a device through a mixed interaction burst — launches,
+// fills, clicks, backs, crash restarts — so its snapshot exercises every
+// codec branch: deep stacks, live fragments, override maps, intent extras,
+// dialogs, a long journal.
+func driveRich(t *testing.T, d *Device) {
+	t.Helper()
+	if err := d.LaunchMain(); err != nil {
+		t.Fatalf("LaunchMain: %v", err)
+	}
+	for i := 0; i < 15; i++ {
+		if d.Crashed() || !d.Running() {
+			if err := d.LaunchMain(); err != nil {
+				return
+			}
+		}
+		dump, err := d.Dump()
+		if err != nil {
+			return
+		}
+		if eds := dump.EditableRefs(); len(eds) > 0 {
+			_ = d.EnterText(eds[i%len(eds)], "codec-roundtrip")
+		}
+		refs := dump.ClickableRefs()
+		if len(refs) == 0 {
+			_ = d.Back()
+			continue
+		}
+		_ = d.Click(refs[i%len(refs)])
+	}
+}
+
+// TestSnapshotCodecRoundTrip drives every corpus app (the 15 Table I apps
+// plus the demo app) to a rich state and requires decode(encode(snapshot))
+// to reproduce the snapshot exactly, unexported nil-ness and all.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	specs := []*corpus.AppSpec{corpus.DemoSpec()}
+	for _, row := range corpus.PaperRows() {
+		specs = append(specs, corpus.PaperSpec(row))
+	}
+	if len(specs) != 16 {
+		t.Fatalf("corpus has %d apps, want 16", len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Package, func(t *testing.T) {
+			app, err := corpus.BuildApp(spec)
+			if err != nil {
+				t.Fatalf("BuildApp: %v", err)
+			}
+			d := New(app, Options{})
+			driveRich(t, d)
+			snap := d.Snapshot()
+			got, err := DecodeSnapshot(EncodeSnapshot(snap), app)
+			if err != nil {
+				t.Fatalf("DecodeSnapshot: %v", err)
+			}
+			if !reflect.DeepEqual(got, snap) {
+				t.Fatalf("round trip diverged:\n got: %#v\nwant: %#v", got, snap)
+			}
+			// A restored decode must drive like the original: same screen.
+			d2 := New(app, Options{})
+			if err := d2.Restore(got); err != nil {
+				t.Fatalf("Restore(decoded): %v", err)
+			}
+			requireEqualState(t, observeState(t, d2), observeState(t, d))
+		})
+	}
+}
+
+// TestSnapshotCodecCorruption requires every truncation of an encoded
+// snapshot to fail decoding loudly (the memo then treats it as a miss) —
+// never to panic or to yield a state silently.
+func TestSnapshotCodecCorruption(t *testing.T) {
+	d := demoDevice(t, Options{})
+	driveRich(t, d)
+	data := EncodeSnapshot(d.Snapshot())
+	app := d.app
+	for cut := 0; cut < len(data); cut += 1 + len(data)/97 {
+		if _, err := DecodeSnapshot(data[:cut], app); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(data))
+		}
+	}
+	// A snapshot naming layouts the app does not declare must be rejected:
+	// decoding binds content through the target app's layout table.
+	bare := *app
+	bare.Layouts = nil
+	if _, err := DecodeSnapshot(data, &bare); err == nil {
+		t.Fatal("decode against an app without the layouts succeeded")
+	}
+}
+
+// TestSnapshotRebind pins the cross-install serving path: a snapshot rebound
+// to a content-identical re-install restores onto that installation's
+// devices.
+func TestSnapshotRebind(t *testing.T) {
+	first, err := corpus.BuildApp(corpus.DemoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(first, Options{})
+	launch(t, d)
+	snap := d.Snapshot()
+
+	reinstalled, err := corpus.BuildApp(corpus.DemoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(reinstalled, Options{})
+	if err := d2.Restore(snap); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("unbound restore err = %v, want ErrStaleSnapshot", err)
+	}
+	if err := d2.Restore(snap.Rebind(reinstalled)); err != nil {
+		t.Fatalf("rebound restore: %v", err)
+	}
+	cur, err := d2.CurrentActivity()
+	if err != nil || cur != "com.demo.app.Main" {
+		t.Fatalf("rebound device at %q, %v", cur, err)
+	}
+	if same := snap.Rebind(first); same != snap {
+		t.Error("Rebind to the same app should return the snapshot unchanged")
+	}
+}
+
+// TestAdvance pins the fast-forward semantics: a device mid-route advances
+// to a snapshot extending its history, is billed only the step delta, and
+// re-emits only the journal suffix.
+func TestAdvance(t *testing.T) {
+	app, err := corpus.BuildApp(corpus.DemoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: full route executed directly.
+	ref := New(app, Options{})
+	launch(t, ref)
+	if err := ref.Click(corpus.NavButtonRef("Main", "Detail")); err != nil {
+		t.Fatal(err)
+	}
+	full := ref.Snapshot()
+
+	var lines []string
+	d := New(app, Options{Hook: func(l string) { lines = append(lines, l) }})
+	launch(t, d)
+	prefixSteps := d.Steps()
+	prefixLines := len(lines)
+	if err := d.Advance(full); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if d.Steps() != ref.Steps() {
+		t.Errorf("advanced steps = %d, want %d (delta billing, no double count)", d.Steps(), ref.Steps())
+	}
+	if d.RestoredSteps() != ref.Steps()-prefixSteps {
+		t.Errorf("restored steps = %d, want the %d-step suffix", d.RestoredSteps(), ref.Steps()-prefixSteps)
+	}
+	if len(lines) <= prefixLines {
+		t.Error("Advance re-emitted no journal suffix")
+	}
+	cur, err := d.CurrentActivity()
+	if err != nil || cur != "com.demo.app.Detail" {
+		t.Fatalf("advanced device at %q, %v", cur, err)
+	}
+
+	// Backwards advance must refuse: the device is already past the target.
+	early := New(app, Options{})
+	launch(t, early)
+	pre := early.Snapshot()
+	if err := d.Advance(pre); !errors.Is(err, ErrSnapshotBehind) {
+		t.Fatalf("backwards Advance err = %v, want ErrSnapshotBehind", err)
+	}
+	other, err := corpus.BuildApp(corpus.DemoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(other, Options{}).Advance(full); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("cross-app Advance err = %v, want ErrStaleSnapshot", err)
+	}
+}

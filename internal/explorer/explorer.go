@@ -56,6 +56,15 @@ type Config struct {
 	// memoized device snapshots of executed prefixes instead of re-executing
 	// them from launch. Behavior is identical either way; nil disables.
 	Snapshots *session.SnapshotMemo
+	// Devices sets the in-process device fleet size. Values above 1 run
+	// Devices-1 warming devices alongside the main exploration loop: each
+	// newly enqueued interface is replayed and probe-expanded on a private
+	// device and the resulting snapshots published through the shared memo,
+	// so the sequential main loop — still the single source of truth for
+	// every decision, counter, and transcript line — finds its work
+	// pre-executed. Results are bit-identical for any fleet size. Zero or
+	// one disables the fleet; warming requires Snapshots.
+	Devices int
 
 	// haltOnAPI stops the run as soon as the named sensitive API is observed
 	// (set by ExploreTarget).
@@ -177,6 +186,8 @@ type engine struct {
 	ex  *statics.Extraction
 	cfg Config
 	s   *session.Session
+	// fleet runs the warming devices; nil when disabled (Devices <= 1).
+	fleet *session.Fleet
 
 	model  *aftm.Model
 	visits map[aftm.Node]Visit
@@ -262,6 +273,10 @@ func ExploreExtracted(ex *statics.Extraction, cfg Config) (*Result, error) {
 	for _, w := range ex.InputWidgets {
 		e.hints[w.Ref] = w.Hint
 	}
+	if cfg.Devices > 1 && cfg.Snapshots != nil {
+		e.fleet = session.NewFleet(cfg.Devices - 1)
+	}
+	defer e.fleet.Close()
 	plan := PlanQueue(ex.Model)
 	for _, item := range plan {
 		e.s.Notef("queue item %s", item)
@@ -362,7 +377,9 @@ func (e *engine) arrive(st iface, method ReachMethod, route robotium.Script) {
 		}
 	}
 	if !e.explored[st.key()] {
-		e.worklist = append(e.worklist, workItem{method: method, target: st, route: route})
+		item := workItem{method: method, target: st, route: route}
+		e.worklist = append(e.worklist, item)
+		e.submitWarm(item)
 	}
 }
 
@@ -458,6 +475,7 @@ func (e *engine) inputValue(ref string) string {
 // the way trigger Cases 1 and 2. Afterwards, reflection items are generated
 // for the activity's unvisited dependent fragments.
 func (e *engine) exploreInterface(item workItem) {
+	memo := e.cfg.Snapshots
 	d, ok := e.replayTo(item)
 	if !ok {
 		return
@@ -475,6 +493,13 @@ func (e *engine) exploreInterface(item workItem) {
 	e.s.Notef("interface %s: %d clickable widgets", item.target, len(clickables))
 
 	fresh := false // d currently sits at the target interface
+	// pristine tracks whether d's state is exactly what auto-dismissed
+	// execution of item.route produces (the explicit dismiss above matches
+	// robotium's pre-op auto-dismiss, so a dismissed arrival still counts).
+	// Only then is the state after fills+click the state executing
+	// route++fills++click would produce, so only then may a probe result be
+	// memoized under that op list — or fast-forwarded from a memo entry.
+	pristine := true
 	for _, ref := range clickables {
 		if fresh {
 			var ok bool
@@ -483,6 +508,7 @@ func (e *engine) exploreInterface(item workItem) {
 				return
 			}
 			fresh = false
+			pristine = true
 		}
 		cur, preDump, err := e.observe(d)
 		if err != nil || cur.key() != item.target.key() {
@@ -492,17 +518,53 @@ func (e *engine) exploreInterface(item workItem) {
 		// recorded route replays the same values even with a stateful
 		// generator (inputgen.Dictionary rotates candidates per call).
 		fillOps := e.fillOps(preDump)
+		ownerFrag := widgetFragment(preDump, ref)
+		// probeOps is the op list the probe below stands for; its snapshot
+		// is keyed here and consumed when the enqueued child interface is
+		// later replayed (or, on a warm memo, consumed right now).
+		probeOps := make([]robotium.Op, 0, len(item.route.Ops)+len(fillOps)+1)
+		probeOps = append(probeOps, item.route.Ops...)
+		probeOps = append(probeOps, fillOps...)
+		probeOps = append(probeOps, robotium.Click(ref))
+		storable := memo != nil && pristine && !preDump.HasDialog
+
+		if storable {
+			// Fast path: the probe's outcome is already memoized (a warming
+			// device or a previous process executed it). Fast-forward the
+			// device — a memoized entry implies the fills and the click all
+			// succeeded without crashing, so only the success events are due.
+			if snap, n, _ := memo.LongestPrefix(e.app, true, probeOps); snap != nil && n == len(probeOps) && d.Advance(snap) == nil {
+				for _, op := range fillOps {
+					e.s.Trace(session.Event{Kind: session.KindInputFill, Ref: op.Ref, Value: op.Value})
+				}
+				e.s.AddSnapshot(1, 1, 0)
+				pristine = false
+				after, _, err := e.observe(d)
+				if err != nil {
+					fresh = true
+					continue
+				}
+				e.afterClick(item, ref, ownerFrag, fillOps, d, after, &fresh)
+				continue
+			}
+		}
+		filled := true
 		for _, op := range fillOps {
 			ev := session.Event{Kind: session.KindInputFill, Ref: op.Ref, Value: op.Value}
 			if err := d.EnterText(op.Ref, op.Value); err != nil {
+				filled = false
 				ev.Err = err.Error()
 				ev.Msg = fmt.Sprintf("fill %s: %v", op.Ref, err)
 			}
 			e.s.Trace(ev)
 		}
-		ownerFrag := widgetFragment(preDump, ref)
+		// A dialog raised between the fills and the click would be
+		// auto-dismissed by script execution but intercepts a direct click —
+		// the states diverge, so such a probe must not be memoized.
+		storable = storable && filled && !d.HasDialog()
 		if err := d.Click(ref); err != nil {
 			e.s.Notef("click %s: %v", ref, err)
+			pristine = false
 			continue
 		}
 		if d.Crashed() {
@@ -511,35 +573,130 @@ func (e *engine) exploreInterface(item workItem) {
 			e.s.MarkCrash(d.CrashReason(),
 				item.route.Append("crash_"+ref, append(fillOps, robotium.Click(ref))...))
 			fresh = true
+			pristine = false
 			continue
 		}
+		if storable {
+			e.s.AddEvictions(memo.Store(e.app, true, probeOps, d))
+		}
+		pristine = false
 		after, _, err := e.observe(d)
 		if err != nil {
 			fresh = true
 			continue
 		}
-		if after.key() == item.target.key() {
-			// Interface unchanged (or a popup was handled): move on.
-			continue
-		}
-		// The interface changed: record transitions and the new state, then
-		// kill and restart for the remaining widgets.
-		route := item.route.Append("reach_"+ref, append(fillOps, robotium.Click(ref))...)
-		e.recordTransition(item.target, ownerFrag, after, ref)
-		e.arrive(after, ReachClick, route)
-		fresh = true
-		// Optional optimization: if BACK restores the interface, keep the
-		// session instead of replaying from scratch.
-		if e.cfg.UseBackNavigation && after.activity != item.target.activity {
-			if err := d.Back(); err == nil {
-				if back, _, err := e.observe(d); err == nil && back.key() == item.target.key() {
-					fresh = false
-				}
-			}
-		}
+		e.afterClick(item, ref, ownerFrag, fillOps, d, after, &fresh)
 	}
 
 	e.reflectionItems(item)
+}
+
+// afterClick handles a successful, non-crashing click's outcome: unchanged
+// interfaces are skipped, changed ones update the model and enqueue the new
+// state, and BACK navigation optionally keeps the session alive.
+func (e *engine) afterClick(item workItem, ref, ownerFrag string, fillOps []robotium.Op, d *device.Device, after iface, fresh *bool) {
+	if after.key() == item.target.key() {
+		// Interface unchanged (or a popup was handled): move on.
+		return
+	}
+	// The interface changed: record transitions and the new state, then
+	// kill and restart for the remaining widgets.
+	route := item.route.Append("reach_"+ref, append(fillOps, robotium.Click(ref))...)
+	e.recordTransition(item.target, ownerFrag, after, ref)
+	e.arrive(after, ReachClick, route)
+	*fresh = true
+	// Optional optimization: if BACK restores the interface, keep the
+	// session instead of replaying from scratch.
+	if e.cfg.UseBackNavigation && after.activity != item.target.activity {
+		if err := d.Back(); err == nil {
+			if back, _, err := e.observe(d); err == nil && back.key() == item.target.key() {
+				*fresh = false
+			}
+		}
+	}
+}
+
+// submitWarm hands a freshly enqueued interface to the warming fleet. A nil
+// fleet drops the task, so the call is free with the fleet disabled.
+func (e *engine) submitWarm(item workItem) {
+	if e.fleet == nil {
+		return
+	}
+	e.fleet.Submit(func() { e.warmItem(item) })
+}
+
+// warmItem pre-executes a queued interface on a private, monitor-less device
+// and publishes the results through the shared snapshot memo: the full route
+// snapshot (consumed by the main loop's replay), and — when the input
+// configuration is stateless — one probe snapshot per clickable widget
+// (consumed by the main loop's Case 3 pass via its Advance fast path). The
+// warming device has no monitor and no log hook, so nothing is observed
+// here; the journal captured inside each snapshot re-emits through the main
+// session's device when the snapshot is restored, which is the only place an
+// observation is due. Every stored state is exactly what auto-dismissed
+// script execution of its op list produces, so first-capture-wins in the
+// memo keeps results identical no matter who wins the race.
+func (e *engine) warmItem(item workItem) {
+	memo := e.cfg.Snapshots
+	if memo == nil {
+		return
+	}
+	d := device.New(e.app, device.Options{})
+	resume := 0
+	if snap, n, _ := memo.LongestPrefix(e.app, true, item.route.Ops); snap != nil && d.Restore(snap) == nil {
+		resume = n
+	}
+	if resume < len(item.route.Ops) {
+		res := robotium.Run(d, item.route, robotium.Options{AutoDismiss: true, Resume: resume})
+		if res.Err != nil || res.Crashed {
+			return
+		}
+		memo.Store(e.app, true, item.route.Ops, d)
+	}
+	// Probe expansion requires replaying the exact fills the main loop will
+	// apply; a stateful input generator rotates values per call and must
+	// only ever be driven by the main loop, so warming stops at the route.
+	if e.cfg.InputGen != nil {
+		return
+	}
+	if d.HasDialog() {
+		if d.DismissDialog() != nil {
+			return
+		}
+	}
+	dump, err := d.Dump()
+	if err != nil || dump.HasDialog {
+		return
+	}
+	fillOps := e.fillOps(dump)
+	base := d.Snapshot()
+	for _, ref := range dump.ClickableRefs() {
+		p := device.New(e.app, device.Options{})
+		if p.Restore(base) != nil {
+			return
+		}
+		filled := true
+		for _, op := range fillOps {
+			if p.EnterText(op.Ref, op.Value) != nil {
+				filled = false
+				break
+			}
+		}
+		// The same divergence guards as the main loop's probe pass: a failed
+		// fill, a dialog raised before the click, a failed click, or a crash
+		// all disqualify the state from being memoized under the op list.
+		if !filled || p.HasDialog() {
+			continue
+		}
+		if p.Click(ref) != nil || p.Crashed() {
+			continue
+		}
+		probeOps := make([]robotium.Op, 0, len(item.route.Ops)+len(fillOps)+1)
+		probeOps = append(probeOps, item.route.Ops...)
+		probeOps = append(probeOps, fillOps...)
+		probeOps = append(probeOps, robotium.Click(ref))
+		memo.Store(e.app, true, probeOps, p)
+	}
 }
 
 // widgetFragment finds which fragment (if any) owned the clicked widget.

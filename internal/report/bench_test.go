@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"fragdroid/internal/artifact"
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/explorer"
 	"fragdroid/internal/session"
 )
 
@@ -73,10 +75,15 @@ func BenchmarkStudyWarmCache(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	studyWith(b, check)
+	res, err := RunStudyWith(StudyConfig{Seed: 1, Cache: check})
+	if err != nil {
+		b.Fatal(err)
+	}
 	if st := check.Stats(); st.Builds != 0 || st.DiskMisses != 0 {
 		b.Fatalf("warm run was not served from disk: %+v", st)
 	}
+	// §VII-A headline: the share of analyzable study apps using fragments.
+	b.ReportMetric(res.FragmentSharePct(), "fragment_share_pct")
 }
 
 // BenchmarkEvaluationSnapshots is BenchmarkEvaluationWarmCache with the
@@ -124,6 +131,100 @@ func BenchmarkEvaluationSnapshots(b *testing.B) {
 	b.ReportMetric(float64(tot.SnapshotHits)/float64(tot.TestCases), "hit_rate")
 	b.ReportMetric(float64(tot.Steps)/float64(tot.Steps-tot.StepsSaved), "step_reduction")
 }
+
+// BenchmarkEvaluationPersistentWarm is the tentpole's headline number: the
+// Table I evaluation against a store already holding every full-route
+// snapshot. Each iteration uses a fresh memo (as a new process would), so all
+// resumed prefixes are served by disk read-through — the evaluation starts
+// warm instead of warming itself up. The persistent_hit_rate metric is the
+// share of test cases resumed from a snapshot; disk_hits counts payloads
+// actually decoded off disk (zero would mean the bench regressed to the
+// in-memory path).
+func BenchmarkEvaluationPersistentWarm(b *testing.B) {
+	dir := b.TempDir()
+	seed, err := artifact.NewPersistentCache(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scfg := DefaultEvalConfig()
+	scfg.Cache = seed
+	scfg.Snapshots = session.NewSnapshotMemo(0)
+	scfg.PersistSnapshots = true
+	if _, err := RunEvaluation(scfg); err != nil {
+		b.Fatal(err)
+	}
+	var last *Evaluation
+	var lastMemo *session.SnapshotMemo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache, err := artifact.NewPersistentCache(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runCfg := DefaultEvalConfig()
+		runCfg.Cache = cache
+		runCfg.Snapshots = session.NewSnapshotMemo(0)
+		runCfg.PersistSnapshots = true
+		lastMemo = runCfg.Snapshots
+		b.StartTimer()
+		ev, err := RunEvaluation(runCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = ev
+	}
+	b.StopTimer()
+	tot := last.TotalStats()
+	if tot.SnapshotHits == 0 || tot.StepsSaved == 0 {
+		b.Fatalf("persistent snapshots were never hit: %+v", tot)
+	}
+	hits, _, _ := lastMemo.DiskStats()
+	if hits == 0 {
+		b.Fatal("no snapshot came off disk; the persistent path was not exercised")
+	}
+	b.ReportMetric(float64(tot.SnapshotHits)/float64(tot.TestCases), "hit_rate")
+	b.ReportMetric(float64(hits), "disk_hits")
+	// The headline metrics ride along in BENCH_PR6.json as proof the warm
+	// path changed nothing the evaluation reports: coverage averages and the
+	// Table II aggregates must match the memo-off numbers bit for bit.
+	act, frag, _ := last.BuildTable1().Averages()
+	st := last.BuildTable2().ComputeStats()
+	b.ReportMetric(act, "activity_pct")
+	b.ReportMetric(frag, "fragment_pct")
+	b.ReportMetric(float64(st.DistinctAPIs), "apis")
+	b.ReportMetric(float64(st.TotalInvocations), "invocations")
+}
+
+// benchFleetExplore runs the explorer over one input-gated corpus app with
+// the given fleet size; the 1/2/4 variants below give the fleet-speedup curve
+// recorded in BENCH_PR6.json. On a single-core host the curve is flat — the
+// fleet trades idle cores for warm snapshots, and there are no idle cores —
+// so the acceptance ratio is only meaningful on multi-core hardware.
+func benchFleetExplore(b *testing.B, devices int) {
+	b.Helper()
+	app, err := corpus.BuildApp(corpus.PaperSpec(corpus.PaperRows()[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := explorer.DefaultConfig()
+		cfg.Snapshots = session.NewSnapshotMemo(0)
+		cfg.Devices = devices
+		b.StartTimer()
+		if _, err := explorer.Explore(app, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetExplore1(b *testing.B) { benchFleetExplore(b, 1) }
+func BenchmarkFleetExplore2(b *testing.B) { benchFleetExplore(b, 2) }
+func BenchmarkFleetExplore4(b *testing.B) { benchFleetExplore(b, 4) }
 
 // BenchmarkEvaluationWarmCache tracks the exploration-dominated Table I run
 // against a warm store: the interesting number here is how little of the

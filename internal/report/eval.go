@@ -39,6 +39,27 @@ type EvalConfig struct {
 	// longest memoized prefix instead of re-executing it from launch. All
 	// behavioral outputs are identical either way; nil disables memoization.
 	Snapshots *session.SnapshotMemo
+	// PersistSnapshots writes full-route snapshots through the artifact
+	// cache's store (when one is attached to the cache), so warm exploration
+	// survives process restarts the same way builds and extractions do.
+	// Requires Snapshots; off by default so in-memory benchmarks keep their
+	// memo-cold meaning.
+	PersistSnapshots bool
+	// Devices is the per-app in-process device fleet size handed to every
+	// engine: values above 1 run warming devices alongside each engine's
+	// main loop. Results are identical for any value; requires Snapshots.
+	Devices int
+}
+
+// attachPersistence wires the artifact store under the shared memo when
+// persistence is requested and a persistent cache is available.
+func (cfg EvalConfig) attachPersistence() {
+	if !cfg.PersistSnapshots || cfg.Snapshots == nil {
+		return
+	}
+	if st := cfg.cache().Store(); st != nil {
+		cfg.Snapshots.AttachStore(st)
+	}
 }
 
 func (cfg EvalConfig) cache() *artifact.Cache {
@@ -105,6 +126,7 @@ func (ev *Evaluation) TotalStats() session.Stats {
 func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 	rows := corpus.PaperRows()
 	cache := cfg.cache()
+	cfg.attachPersistence()
 	limits := cfg.Stages.withDefault(cfg.Parallel)
 	results := make([]AppResult, len(rows))
 	apps := make([]*apk.App, len(rows))
@@ -135,6 +157,9 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 			if ecfg.Snapshots == nil {
 				ecfg.Snapshots = cfg.Snapshots
 			}
+			if ecfg.Devices == 0 {
+				ecfg.Devices = cfg.Devices
+			}
 			res, err := explorer.ExploreExtracted(exs[i], ecfg)
 			if err != nil {
 				errs[i] = fmt.Errorf("report: explore %s: %w", rows[i].Package, err)
@@ -147,6 +172,11 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
+	}
+	if cfg.PersistSnapshots && cfg.Snapshots != nil {
+		// Persisted packs hit disk once per app here, not once per store; a
+		// flush failure only costs the next run its warm start.
+		_ = cfg.Snapshots.Flush()
 	}
 	return &Evaluation{Apps: results}, nil
 }
@@ -425,6 +455,11 @@ func RunComparison(cfg EvalConfig, monkeySeed int64, monkeyEvents int) (*Compari
 		}
 		cmp.Rows = append(cmp.Rows, row)
 	}
+	if cfg.PersistSnapshots && cfg.Snapshots != nil {
+		// The baselines share the evaluation's memo; flush again so their
+		// launch and activity-route snapshots go durable too.
+		_ = cfg.Snapshots.Flush()
+	}
 	return cmp, nil
 }
 
@@ -468,11 +503,12 @@ func runBaselineSystem(sys string, ev *Evaluation, cfg EvalConfig, seed int64, e
 			bcfg.MaxTestCases = cfg.Explorer.MaxTestCases
 			bcfg.Observer = cfg.Explorer.Observer
 			bcfg.Snapshots = cfg.Snapshots
+			bcfg.Devices = cfg.Devices
 			res, err = baseline.ExploreActivities(ar.App, bcfg)
 		case "Monkey":
 			res, err = baseline.Monkey(ar.App, baseline.MonkeyConfig{
 				Seed: seed, Events: events, Observer: cfg.Explorer.Observer,
-				Snapshots: cfg.Snapshots})
+				Snapshots: cfg.Snapshots, Devices: cfg.Devices})
 		default:
 			return ComparisonRow{}, fmt.Errorf("report: unknown system %q", sys)
 		}

@@ -63,6 +63,7 @@ func TestSnapshotMetricParity(t *testing.T) {
 	for i := range offM {
 		a, b := offM[i].Stats, onM[i].Stats
 		b.SnapshotHits, b.SnapshotRestores, b.StepsSaved = 0, 0, 0
+		b.Evictions, b.BytesPinned = 0, 0
 		if offM[i].Package != onM[i].Package || a != b {
 			t.Errorf("%s: counters diverged:\noff %+v\non  %+v", offM[i].Package, a, b)
 		}

@@ -87,13 +87,13 @@ func RenderTable2(m *sensitive.Matrix) string {
 func RenderRunMetrics(ev *Evaluation) string {
 	var b strings.Builder
 	b.WriteString("## Run metrics\n\n")
-	b.WriteString("| app | test cases | device steps | replays | reflection attempts | reflection failures | forced starts | input fills | crashes | snapshot hits | snapshot restores | steps saved |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| app | test cases | device steps | replays | reflection attempts | reflection failures | forced starts | input fills | crashes | snapshot hits | snapshot restores | steps saved | evictions | bytes pinned |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	row := func(name string, s sessionStats) {
-		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d |\n",
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d |\n",
 			name, s.TestCases, s.Steps, s.Replays, s.ReflectionAttempts,
 			s.ReflectionFailures, s.ForcedStarts, s.InputFills, s.Crashes,
-			s.SnapshotHits, s.SnapshotRestores, s.StepsSaved)
+			s.SnapshotHits, s.SnapshotRestores, s.StepsSaved, s.Evictions, s.BytesPinned)
 	}
 	for _, m := range ev.RunMetrics() {
 		row(m.Package, m.Stats)

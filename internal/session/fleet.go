@@ -1,0 +1,124 @@
+package session
+
+import "sync"
+
+// Fleet is the in-process device fleet's scheduler: a fixed pool of workers
+// draining per-worker task queues with work stealing. Engines submit warming
+// tasks — closures that drive their own private device and publish results
+// only through the shared, concurrency-safe SnapshotMemo — so every task is
+// a pure cache-warmer: the engine's own sequential loop remains the single
+// source of truth for counters, transcripts, and decisions, which is why
+// folded results are deterministic regardless of worker timing.
+//
+// Scheduling: Submit distributes tasks round-robin over the per-worker
+// queues; a worker pops its own queue front-first (submission order, the
+// order the engine expects to need the results), and when empty steals the
+// newest task from the longest sibling queue (newest-first stealing keeps
+// the stolen work disjoint from what the victim is about to pop). Close
+// drops tasks still queued — warming is best-effort — and waits for in-flight
+// ones to finish.
+type Fleet struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [][]func()
+	next   int // round-robin submission cursor
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewFleet starts a fleet with the given number of workers. workers <= 0
+// returns nil; a nil *Fleet is a valid no-op fleet (Submit drops the task,
+// Close does nothing), so engines can hold one unconditionally.
+func NewFleet(workers int) *Fleet {
+	if workers <= 0 {
+		return nil
+	}
+	f := &Fleet{queues: make([][]func(), workers)}
+	f.cond = sync.NewCond(&f.mu)
+	f.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go f.worker(i)
+	}
+	return f
+}
+
+// Submit enqueues one warming task. Safe on a nil fleet (the task is
+// dropped: warming is an optimization, never a dependency).
+func (f *Fleet) Submit(task func()) {
+	if f == nil || task == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.queues[f.next] = append(f.queues[f.next], task)
+	f.next = (f.next + 1) % len(f.queues)
+	f.cond.Signal()
+	f.mu.Unlock()
+}
+
+// take pops the next task for worker i: own queue front-first, else the
+// newest task of the longest sibling queue. It blocks until a task is
+// available or the fleet closes; ok=false means shut down.
+func (f *Fleet) take(i int) (func(), bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			return nil, false
+		}
+		if q := f.queues[i]; len(q) > 0 {
+			task := q[0]
+			f.queues[i] = q[1:]
+			return task, true
+		}
+		victim, best := -1, 0
+		for j, q := range f.queues {
+			if j != i && len(q) > best {
+				victim, best = j, len(q)
+			}
+		}
+		if victim >= 0 {
+			q := f.queues[victim]
+			task := q[len(q)-1]
+			f.queues[victim] = q[:len(q)-1]
+			return task, true
+		}
+		f.cond.Wait()
+	}
+}
+
+func (f *Fleet) worker(i int) {
+	defer f.wg.Done()
+	for {
+		task, ok := f.take(i)
+		if !ok {
+			return
+		}
+		task()
+	}
+}
+
+// Close shuts the fleet down: queued-but-unstarted tasks are dropped,
+// in-flight tasks run to completion, and Close returns once every worker has
+// exited. Safe on a nil fleet and safe to call more than once.
+func (f *Fleet) Close() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.closed = true
+	for i := range f.queues {
+		f.queues[i] = nil
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.wg.Wait()
+}

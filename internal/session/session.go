@@ -55,6 +55,14 @@ type Stats struct {
 	// instead of executed — Steps counts it either way, so budgets and
 	// reported work are identical with snapshots on or off.
 	StepsSaved int `json:"steps_saved"`
+	// Evictions counts memo entries evicted by capacity pressure during this
+	// run's stores — the observable signal that the snapshot memo is
+	// undersized for the workload.
+	Evictions int `json:"evictions,omitempty"`
+	// BytesPinned is the peak estimated bytes of snapshot state the shared
+	// memo held while this run sampled it (a gauge, not a sum: Add takes the
+	// max, since concurrent runs share one memo).
+	BytesPinned int `json:"bytes_pinned,omitempty"`
 }
 
 // Add returns the element-wise sum of two stats.
@@ -70,6 +78,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.SnapshotHits += o.SnapshotHits
 	s.SnapshotRestores += o.SnapshotRestores
 	s.StepsSaved += o.StepsSaved
+	s.Evictions += o.Evictions
+	if o.BytesPinned > s.BytesPinned {
+		s.BytesPinned = o.BytesPinned // gauge: engines sample one shared memo
+	}
 	return s
 }
 
@@ -265,8 +277,8 @@ func (s *Session) RunOn(d *device.Device, sc robotium.Script, p Purpose) (roboti
 	// logical work whether the prefix was executed or restored.
 	before := d.Steps()
 	beforeRestored := d.RestoredSteps()
+	hashed, hash := 0, fnvOffset
 	if memo := s.opts.Snapshots; memo != nil {
-		hashed, hash := 0, fnvOffset
 		snap, n, h := memo.LongestPrefix(s.app, s.opts.AutoDismiss, sc.Ops)
 		if snap != nil && d.Restore(snap) == nil {
 			opts.Resume = n
@@ -289,10 +301,25 @@ func (s *Session) RunOn(d *device.Device, sc robotium.Script, p Purpose) (roboti
 				hash = hashOp(hash, sc.Ops[hashed])
 				hashed++
 			}
-			memo.store(s.app, s.opts.AutoDismiss, hash, sc.Ops[:executed], d)
+			// Only the full route writes through to the persistent store;
+			// partial prefixes stay in memory (the full entry subsumes them).
+			persist := executed == len(sc.Ops)
+			s.stats.Evictions += memo.store(s.app, s.opts.AutoDismiss, hash, sc.Ops[:executed], d, persist)
 		}
 	}
 	res := robotium.Run(d, sc, opts)
+	if memo := s.opts.Snapshots; memo != nil {
+		if hashed > 0 && hashed < len(sc.Ops) {
+			// The route stopped short — a crash or an op error — so the
+			// full-route persistence gate never fired. Promote the longest
+			// clean checkpoint instead: a warm run then resumes at the
+			// failing op rather than re-executing the route from launch.
+			memo.Promote(s.app, s.opts.AutoDismiss, hash, sc.Ops[:hashed])
+		}
+		if bp := memo.BytesPinned(); bp > s.stats.BytesPinned {
+			s.stats.BytesPinned = bp
+		}
+	}
 	delta := d.Steps() - before
 	s.stats.Steps += delta
 	s.stats.StepsSaved += d.RestoredSteps() - beforeRestored
@@ -363,6 +390,10 @@ func (s *Session) AddSnapshot(hits, restores, stepsSaved int) {
 	s.stats.SnapshotRestores += restores
 	s.stats.StepsSaved += stepsSaved
 }
+
+// AddEvictions charges memo evictions caused by stores performed outside
+// RunOn (the explorer's probe memoization bills itself here).
+func (s *Session) AddEvictions(n int) { s.stats.Evictions += n }
 
 func errString(err error) string {
 	if err == nil {

@@ -2,9 +2,15 @@ package session
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/binc"
 	"fragdroid/internal/device"
 	"fragdroid/internal/robotium"
 )
@@ -15,28 +21,85 @@ import (
 // generous enough that real explorations never evict.
 const DefaultSnapshotCapacity = 4096
 
+// SnapshotStore is the persistence hook the memo writes through: a durable
+// (key, payload) store for encoded snapshot packs. *artifact.Store implements
+// it; the indirection keeps the session layer free of a dependency on the
+// artifact package.
+type SnapshotStore interface {
+	LoadSnapshot(key string) ([]byte, bool)
+	SaveSnapshot(key string, payload []byte) error
+}
+
+// packState is the memo's view of one persisted snapshot pack: every durable
+// entry for one (app fingerprint, dialog policy) pair, stored as a single
+// artifact so a warm run pays one read per app instead of one per prefix.
+// Entries keep their snapshots encoded and decode lazily on first serve; the
+// decoded copy then lives in the LRU like any other entry. once guards the
+// one disk read; entries and dirty are guarded by the memo mutex.
+type packState struct {
+	once    sync.Once
+	entries map[memoKey]*packEntry
+	dirty   bool
+}
+
+// packEntry is one durable prefix: the op list (the collision guard) plus
+// the decoded device snapshot. A pack decodes in a single pass over one
+// shared string table — journal lines and class names repeat across an
+// app's prefixes, so the pack-wide table allocates each string once where
+// per-entry payloads would pay a full decode per serve. Entries are
+// immutable after creation.
+type packEntry struct {
+	ops  []robotium.Op
+	snap *device.Snapshot
+	size int
+}
+
 // SnapshotMemo is an LRU-bounded, concurrency-safe memo of device snapshots
 // keyed by executed route prefixes. Sessions that share a memo resume route
 // execution from the longest memoized prefix instead of re-executing it from
 // launch; because the simulator is deterministic, the state after a prefix is
-// a pure function of (installed app, prefix, auto-dismiss policy), which is
-// exactly the memo key. Snapshots are immutable, so one entry can seed any
+// a pure function of (app content, prefix, auto-dismiss policy), which is
+// exactly the memo key. The app is identified by a content fingerprint of its
+// encoded spec — not pointer identity — so snapshots are valid across
+// re-installs of the same build and, through an attached SnapshotStore,
+// across process restarts. Snapshots are immutable, so one entry can seed any
 // number of devices concurrently.
 type SnapshotMemo struct {
 	mu  sync.Mutex
 	cap int
 	lru *list.List // front = most recently used
 	idx map[memoKey]*list.Element
+
+	disk        SnapshotStore
+	packs       map[string]*packState
+	evictions   int
+	bytesPinned int
+	diskHits    int
+	diskMisses  int
+	diskWrites  int
+
+	// hasDisk mirrors disk != nil for lock-free gating of the pack machinery
+	// on the hot lookup path; packCache resolves (app, policy) to its pack
+	// without the mutex or a key allocation once the first lookup paid them.
+	hasDisk   atomic.Bool
+	packCache sync.Map // packCacheKey -> *packState
 }
 
-// memoKey identifies one memoized prefix. The app pointer stands for the
-// installed-app identity (a re-install is a different pointer, so stale
-// snapshots are unreachable); autoDismiss is part of the key because the
-// dialog policy changes what a prefix execution does; n plus the chained
-// FNV-64a hash identify the operation sequence, with a stored-ops equality
-// check guarding against hash collisions.
-type memoKey struct {
+// packCacheKey caches pack resolution per installed app pointer; two
+// installs of the same build reach the same *packState through m.packs.
+type packCacheKey struct {
 	app         *apk.App
+	autoDismiss bool
+}
+
+// memoKey identifies one memoized prefix. fp is the content fingerprint of
+// the installed app's encoded spec (same build ⇒ same fingerprint, so stale
+// snapshots from a different build are unreachable); autoDismiss is part of
+// the key because the dialog policy changes what a prefix execution does; n
+// plus the chained FNV-64a hash identify the operation sequence, with a
+// stored-ops equality check guarding against hash collisions.
+type memoKey struct {
+	fp          string
 	autoDismiss bool
 	n           int
 	hash        uint64
@@ -46,6 +109,33 @@ type memoEntry struct {
 	key  memoKey
 	ops  []robotium.Op
 	snap *device.Snapshot
+	size int
+}
+
+// appFPs memoizes content fingerprints per installed-app pointer; computing
+// one means re-encoding the whole app spec, which must not happen on every
+// memo probe.
+var appFPs sync.Map // *apk.App -> string
+
+// appFingerprint returns the content fingerprint of an installed app: the
+// hex sha256 of its encoded spec. Two installations of byte-identical builds
+// share a fingerprint — and therefore share memo entries — while any content
+// difference separates them.
+func appFingerprint(app *apk.App) string {
+	if v, ok := appFPs.Load(app); ok {
+		return v.(string)
+	}
+	var fp string
+	if data, err := apk.EncodeApp(app); err == nil {
+		sum := sha256.Sum256(data)
+		fp = hex.EncodeToString(sum[:])
+	} else {
+		// Unencodable apps fall back to pointer identity: still correct,
+		// just not shareable across installs or processes.
+		fp = fmt.Sprintf("unhashable:%p", app)
+	}
+	appFPs.Store(app, fp)
+	return fp
 }
 
 // NewSnapshotMemo returns a memo bounded to capacity entries;
@@ -55,10 +145,23 @@ func NewSnapshotMemo(capacity int) *SnapshotMemo {
 		capacity = DefaultSnapshotCapacity
 	}
 	return &SnapshotMemo{
-		cap: capacity,
-		lru: list.New(),
-		idx: make(map[memoKey]*list.Element),
+		cap:   capacity,
+		lru:   list.New(),
+		idx:   make(map[memoKey]*list.Element),
+		packs: make(map[string]*packState),
 	}
+}
+
+// AttachStore wires a persistence layer under the memo: full-route stores
+// accumulate in per-app snapshot packs that Flush writes out, and lookups
+// that miss in memory are served from the app's pack (loaded once per app,
+// not once per prefix). Attaching a store is what makes warm exploration
+// survive process restarts.
+func (m *SnapshotMemo) AttachStore(st SnapshotStore) {
+	m.mu.Lock()
+	m.disk = st
+	m.mu.Unlock()
+	m.hasDisk.Store(st != nil)
 }
 
 // Len reports the number of memoized prefixes.
@@ -68,72 +171,400 @@ func (m *SnapshotMemo) Len() int {
 	return m.lru.Len()
 }
 
+// Evictions reports the total number of entries evicted by capacity
+// pressure over the memo's lifetime.
+func (m *SnapshotMemo) Evictions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions
+}
+
+// BytesPinned reports the estimated bytes of snapshot state currently held
+// by the memo.
+func (m *SnapshotMemo) BytesPinned() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesPinned
+}
+
+// DiskStats reports the persistence-layer traffic: lookups served from a
+// loaded snapshot pack, full-length lookups that consulted the pack and
+// missed, and packs written out by Flush.
+func (m *SnapshotMemo) DiskStats() (hits, misses, writes int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.diskHits, m.diskMisses, m.diskWrites
+}
+
+// pack resolves the snapshot pack for an installed app, caching the result
+// per app pointer so the hot paths pay one lock-free map load instead of a
+// mutex round trip and a key render on every probe. Returns nil when no
+// store is attached.
+func (m *SnapshotMemo) pack(app *apk.App, fp string, autoDismiss bool) *packState {
+	ck := packCacheKey{app: app, autoDismiss: autoDismiss}
+	if v, ok := m.packCache.Load(ck); ok {
+		return v.(*packState)
+	}
+	p := m.ensurePack(app, fp, autoDismiss)
+	if p != nil {
+		m.packCache.Store(ck, p)
+	}
+	return p
+}
+
+// ensurePack returns the pack for (fp, autoDismiss), loading it from the
+// attached store on first touch. Returns nil when no store is attached. The
+// single disk read and decode run outside the memo mutex; loaded entries
+// merge under it, never displacing entries this process stored meanwhile.
+// Snapshots decode bound to the first app that touches the pack; serves for
+// other installs of the same build rebind at lookup time.
+func (m *SnapshotMemo) ensurePack(app *apk.App, fp string, autoDismiss bool) *packState {
+	m.mu.Lock()
+	disk := m.disk
+	if disk == nil {
+		m.mu.Unlock()
+		return nil
+	}
+	pk := packKey(fp, autoDismiss)
+	p, ok := m.packs[pk]
+	if !ok {
+		p = &packState{entries: make(map[memoKey]*packEntry)}
+		m.packs[pk] = p
+	}
+	m.mu.Unlock()
+
+	p.once.Do(func() {
+		payload, ok := disk.LoadSnapshot(pk)
+		if !ok {
+			return
+		}
+		entries, err := decodePack(payload, fp, autoDismiss, app)
+		if err != nil {
+			// A corrupt pack degrades to a silent miss for every prefix; the
+			// run re-executes, re-stores, and the next Flush repairs the file.
+			return
+		}
+		m.mu.Lock()
+		for k, e := range entries {
+			if _, exists := p.entries[k]; !exists {
+				p.entries[k] = e
+				m.bytesPinned += e.size
+			}
+		}
+		m.mu.Unlock()
+	})
+	return p
+}
+
 // LongestPrefix finds the longest memoized prefix of ops for the given app
-// and dialog policy. It returns the snapshot, the prefix length, and the
-// chained hash of that prefix (the seed for extending the chain over the
-// remaining ops). On a miss it returns (nil, 0, fnvOffset).
+// and dialog policy. It returns the snapshot (bound to app), the prefix
+// length, and the chained hash of that prefix (the seed for extending the
+// chain over the remaining ops). At each length the in-memory LRU is
+// consulted first, then the app's loaded snapshot pack — its own serving
+// tier: pack entries are pinned for the process lifetime and served in
+// place, not copied into the LRU. On a miss it returns (nil, 0, fnvOffset).
 func (m *SnapshotMemo) LongestPrefix(app *apk.App, autoDismiss bool, ops []robotium.Op) (*device.Snapshot, int, uint64) {
 	if len(ops) == 0 {
 		return nil, 0, fnvOffset
 	}
-	// Chained prefix hashes: hs[i] covers ops[:i].
-	hs := make([]uint64, len(ops)+1)
-	hs[0] = fnvOffset
+	fp := appFingerprint(app)
+	// Chained prefix hashes: hs[i] covers ops[:i]. Routes are short, so the
+	// table almost always fits on the stack.
+	var hsBuf [24]uint64
+	hs := hsBuf[:0]
+	if len(ops)+1 > len(hsBuf) {
+		hs = make([]uint64, 0, len(ops)+1)
+	}
+	hs = append(hs, fnvOffset)
 	for i, op := range ops {
-		hs[i+1] = hashOp(hs[i], op)
+		hs = append(hs, hashOp(hs[i], op))
 	}
+	// Pack resolution stays off the no-store hot path entirely; with a store
+	// it is a lock-free cache load after the first probe for this app.
+	var p *packState
+	if m.hasDisk.Load() {
+		p = m.pack(app, fp, autoDismiss)
+	}
+
+	// Scan lengths longest-first under the lock, memory before pack at each
+	// length.
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for n := len(ops); n >= 1; n-- {
-		key := memoKey{app: app, autoDismiss: autoDismiss, n: n, hash: hs[n]}
-		el, ok := m.idx[key]
-		if !ok {
-			continue
+		key := memoKey{fp: fp, autoDismiss: autoDismiss, n: n, hash: hs[n]}
+		if el, ok := m.idx[key]; ok {
+			e := el.Value.(*memoEntry)
+			if opsEqual(e.ops, ops[:n]) {
+				m.lru.MoveToFront(el)
+				snap := e.snap
+				m.mu.Unlock()
+				return snap.Rebind(app), n, hs[n]
+			}
 		}
-		e := el.Value.(*memoEntry)
-		if !opsEqual(e.ops, ops[:n]) {
-			continue // hash collision: treat as a miss
+		if p != nil {
+			if e, ok := p.entries[key]; ok && opsEqual(e.ops, ops[:n]) {
+				m.diskHits++
+				snap := e.snap
+				m.mu.Unlock()
+				return snap.Rebind(app), n, hs[n]
+			}
+			if n == len(ops) {
+				// Only full-length lookups count as pack misses: shorter
+				// prefixes are opportunistic.
+				m.diskMisses++
+			}
 		}
-		m.lru.MoveToFront(el)
-		return e.snap, n, hs[n]
 	}
+	m.mu.Unlock()
 	return nil, 0, fnvOffset
 }
 
-// Store memoizes the device's current state as the snapshot for ops. An
-// existing entry is kept — the first capture wins, and deterministic
-// execution guarantees any re-capture would be identical — so repeat
-// executions pay only the hash probe, not a deep copy. The caller must only
-// store states actually reached by executing ops from a fresh start (and
-// never crashed ones); sessions do this via the robotium checkpoint hook.
-func (m *SnapshotMemo) Store(app *apk.App, autoDismiss bool, ops []robotium.Op, d *device.Device) {
+// Store memoizes the device's current state as the snapshot for ops,
+// returning the number of entries evicted to make room. An existing entry is
+// kept — the first capture wins, and deterministic execution guarantees any
+// re-capture would be identical — so repeat executions pay only the hash
+// probe, not a deep copy. With a store attached the snapshot is also
+// persisted. The caller must only store states actually reached by executing
+// ops from a fresh start (and never crashed ones); sessions do this via the
+// robotium checkpoint hook.
+func (m *SnapshotMemo) Store(app *apk.App, autoDismiss bool, ops []robotium.Op, d *device.Device) int {
 	h := fnvOffset
 	for _, op := range ops {
 		h = hashOp(h, op)
 	}
-	m.store(app, autoDismiss, h, ops, d)
+	return m.store(app, autoDismiss, h, ops, d, true)
 }
 
 // store is Store with the chained hash precomputed — sessions extend the
-// hash incrementally across checkpoints instead of rehashing the prefix.
-func (m *SnapshotMemo) store(app *apk.App, autoDismiss bool, hash uint64, ops []robotium.Op, d *device.Device) {
+// hash incrementally across checkpoints instead of rehashing the prefix —
+// and a persistence gate: only full-route captures go durable (partial
+// prefixes are one checkpoint of a longer route; persisting every prefix
+// would multiply pack size for states the full entry subsumes). Durable
+// entries accumulate in the app's pack and hit disk when Flush runs.
+func (m *SnapshotMemo) store(app *apk.App, autoDismiss bool, hash uint64, ops []robotium.Op, d *device.Device, persist bool) int {
 	if len(ops) == 0 {
+		return 0
+	}
+	fp := appFingerprint(app)
+	key := memoKey{fp: fp, autoDismiss: autoDismiss, n: len(ops), hash: hash}
+	m.mu.Lock()
+	if el, ok := m.idx[key]; ok {
+		m.lru.MoveToFront(el)
+		m.mu.Unlock()
+		return 0
+	}
+	m.mu.Unlock()
+
+	// Capture outside the lock: the deep copy is the expensive part.
+	snap := d.Snapshot()
+	opsCopy := append([]robotium.Op(nil), ops...)
+	evicted := m.insert(key, opsCopy, snap)
+
+	if persist && m.hasDisk.Load() && !snap.Crashed() {
+		if p := m.pack(app, fp, autoDismiss); p != nil {
+			m.mu.Lock()
+			if _, exists := p.entries[key]; !exists {
+				// Encoding is deferred to Flush, where the whole pack shares
+				// one string table; the run only pins the snapshot pointer.
+				e := &packEntry{ops: opsCopy, snap: snap, size: snap.SizeEstimate()}
+				p.entries[key] = e
+				p.dirty = true
+				m.bytesPinned += e.size
+			}
+			m.mu.Unlock()
+		}
+	}
+	return evicted
+}
+
+// Promote marks an already-memoized prefix durable. Routes that crash or
+// error never reach the full-route persistence gate, so without promotion a
+// warm run re-executes them from launch every time; promoting the longest
+// non-crashed checkpoint lets it resume at the failing op instead. The entry
+// must already be in memory (checkpoints put it there) and not crashed; a
+// no-op otherwise, or without an attached store.
+func (m *SnapshotMemo) Promote(app *apk.App, autoDismiss bool, hash uint64, ops []robotium.Op) {
+	if len(ops) == 0 || !m.hasDisk.Load() {
 		return
 	}
-	key := memoKey{app: app, autoDismiss: autoDismiss, n: len(ops), hash: hash}
+	fp := appFingerprint(app)
+	key := memoKey{fp: fp, autoDismiss: autoDismiss, n: len(ops), hash: hash}
+	m.mu.Lock()
+	el, ok := m.idx[key]
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	e := el.Value.(*memoEntry)
+	if !opsEqual(e.ops, ops) || e.snap.Crashed() {
+		return
+	}
+	p := m.pack(app, fp, autoDismiss)
+	if p == nil {
+		return
+	}
+	m.mu.Lock()
+	if _, exists := p.entries[key]; !exists {
+		p.entries[key] = &packEntry{ops: e.ops, snap: e.snap, size: e.size}
+		p.dirty = true
+		m.bytesPinned += e.size
+	}
+	m.mu.Unlock()
+}
+
+// Flush writes every dirty snapshot pack through the attached store — one
+// artifact per (app, dialog policy), entries in deterministic order — and
+// returns the first write error. Entries loaded from disk merge with entries
+// stored this run, so concurrent processes lose nothing but each other's
+// unmerged additions (last writer wins, as with any artifact). Without an
+// attached store, or with nothing new to persist, Flush is a no-op.
+func (m *SnapshotMemo) Flush() error {
+	m.mu.Lock()
+	disk := m.disk
+	type job struct {
+		pk string
+		p  *packState
+	}
+	var jobs []job
+	for pk, p := range m.packs {
+		if p.dirty {
+			jobs = append(jobs, job{pk, p})
+		}
+	}
+	m.mu.Unlock()
+	if disk == nil {
+		return nil
+	}
+	var firstErr error
+	for _, j := range jobs {
+		m.mu.Lock()
+		keys := make([]memoKey, 0, len(j.p.entries))
+		for k := range j.p.entries {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].n != keys[b].n {
+				return keys[a].n < keys[b].n
+			}
+			return keys[a].hash < keys[b].hash
+		})
+		entries := make([]*packEntry, len(keys))
+		for i, k := range keys {
+			entries[i] = j.p.entries[k]
+		}
+		j.p.dirty = false
+		m.mu.Unlock()
+
+		if err := disk.SaveSnapshot(j.pk, encodePack(keys, entries)); err != nil {
+			m.mu.Lock()
+			j.p.dirty = true
+			m.mu.Unlock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		m.mu.Lock()
+		m.diskWrites++
+		m.mu.Unlock()
+	}
+	return firstErr
+}
+
+// insert adds an entry under first-capture-wins semantics and applies
+// capacity eviction, returning the number of entries evicted.
+func (m *SnapshotMemo) insert(key memoKey, ops []robotium.Op, snap *device.Snapshot) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if el, ok := m.idx[key]; ok {
 		m.lru.MoveToFront(el)
-		return
+		return 0
 	}
-	e := &memoEntry{key: key, ops: append([]robotium.Op(nil), ops...), snap: d.Snapshot()}
+	e := &memoEntry{key: key, ops: ops, snap: snap, size: snap.SizeEstimate()}
 	m.idx[key] = m.lru.PushFront(e)
+	m.bytesPinned += e.size
+	evicted := 0
 	for m.lru.Len() > m.cap {
 		back := m.lru.Back()
 		m.lru.Remove(back)
-		delete(m.idx, back.Value.(*memoEntry).key)
+		be := back.Value.(*memoEntry)
+		delete(m.idx, be.key)
+		m.bytesPinned -= be.size
+		m.evictions++
+		evicted++
 	}
+	return evicted
+}
+
+// packKey renders a pack's persistent cache key.
+func packKey(fp string, autoDismiss bool) string {
+	return fmt.Sprintf("%s|ad=%t", fp, autoDismiss)
+}
+
+// encodePack frames a snapshot pack: an entry count, then per entry the
+// chained hash (the routing index), the op list (the collision guard —
+// lookups verify it matches the requested ops exactly) and the snapshot,
+// all behind one shared string table.
+func encodePack(keys []memoKey, entries []*packEntry) []byte {
+	w := binc.NewWriter()
+	w.Int(len(entries))
+	for i, e := range entries {
+		w.Uvarint(keys[i].hash)
+		w.Int(len(e.ops))
+		for _, op := range e.ops {
+			w.Uvarint(uint64(op.Kind))
+			w.Str(op.Ref)
+			w.Str(op.Value)
+			w.Str(op.Activity)
+			w.Str(op.Fragment)
+			w.Str(op.Container)
+		}
+		device.EncodeSnapshotTo(w, e.snap)
+	}
+	return w.Bytes()
+}
+
+// decodePack parses a pack payload into its entry map in one pass —
+// snapshots bind to the given app, strings intern through the pack-wide
+// table. The stored hash is merely a routing index: nothing is served until
+// an entry's ops compare equal to the requested prefix, so a payload whose
+// hash and ops disagree can never produce a wrong serve — at worst it reads
+// as a miss. Any corruption (possible only past the container checksum)
+// fails the whole pack; the caller treats that as every-prefix-missing.
+func decodePack(data []byte, fp string, autoDismiss bool, app *apk.App) (map[memoKey]*packEntry, error) {
+	r, err := binc.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	count := r.Int()
+	entries := make(map[memoKey]*packEntry, count)
+	for i := 0; i < count && r.Err() == nil; i++ {
+		h := r.Uvarint()
+		n := r.Int()
+		ops := make([]robotium.Op, 0, n)
+		for j := 0; j < n && r.Err() == nil; j++ {
+			ops = append(ops, robotium.Op{
+				Kind:      robotium.OpKind(r.Uvarint()),
+				Ref:       r.Str(),
+				Value:     r.Str(),
+				Activity:  r.Str(),
+				Fragment:  r.Str(),
+				Container: r.Str(),
+			})
+		}
+		snap, err := device.DecodeSnapshotFrom(r, app)
+		if err != nil {
+			return nil, err
+		}
+		key := memoKey{fp: fp, autoDismiss: autoDismiss, n: len(ops), hash: h}
+		entries[key] = &packEntry{ops: ops, snap: snap, size: snap.SizeEstimate()}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return entries, nil
 }
 
 func opsEqual(a, b []robotium.Op) bool {

@@ -154,10 +154,12 @@ func TestSnapshotPrefixResume(t *testing.T) {
 	}
 }
 
-// TestSnapshotMemoStaleApp pins session-level invalidation: snapshots are
-// keyed by installed-app identity, so after a re-install (a fresh build of
-// the same spec) the memo yields no prefixes and runs execute from scratch.
-func TestSnapshotMemoStaleApp(t *testing.T) {
+// TestSnapshotMemoContentKey pins the content-based identity: snapshots are
+// keyed by the app's encoded content, so a re-install of the same build (a
+// fresh build of the same spec) serves the memoized prefixes — while an app
+// with different content shares nothing, which is the stale-snapshot
+// invalidation that used to ride on pointer identity.
+func TestSnapshotMemoContentKey(t *testing.T) {
 	first, err := corpus.BuildApp(demoApp(t))
 	if err != nil {
 		t.Fatal(err)
@@ -175,15 +177,23 @@ func TestSnapshotMemoStaleApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap, n, _ := memo.LongestPrefix(reinstalled, true, launchScript().Ops); snap != nil || n != 0 {
-		t.Fatalf("stale snapshot reachable after re-install: n=%d", n)
+	if snap, n, _ := memo.LongestPrefix(reinstalled, true, launchScript().Ops); snap == nil || n != len(launchScript().Ops) {
+		t.Fatalf("content-identical re-install missed the memo: n=%d", n)
 	}
 	s2 := session.New(reinstalled, session.Options{AutoDismiss: true, Snapshots: memo})
 	if _, res, ok := s2.RunScript(launchScript(), session.PurposeLaunch); !ok || res.Err != nil {
 		t.Fatalf("re-install run: ok=%v err=%v", ok, res.Err)
 	}
-	if st := s2.Stats(); st.SnapshotHits != 0 || st.StepsSaved != 0 {
-		t.Errorf("re-install run resumed from a stale snapshot: %+v", st)
+	if st := s2.Stats(); st.SnapshotHits != 1 || st.StepsSaved == 0 {
+		t.Errorf("re-install run did not resume from the shared snapshot: %+v", st)
+	}
+
+	other, err := corpus.BuildApp(corpus.PaperSpec(corpus.PaperRows()[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, n, _ := memo.LongestPrefix(other, true, launchScript().Ops); snap != nil || n != 0 {
+		t.Fatalf("snapshot leaked across different app content: n=%d", n)
 	}
 }
 
