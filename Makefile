@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: build test race vet lint bench bench-json
+.PHONY: build test race vet lint bench bench-json compare-smoke
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,20 @@ bench:
 # smoke signal; the checked-in BENCH_PR6.json comes from BENCHTIME=30x).
 BENCHTIME ?= 10x
 BENCH_JSON ?= BENCH_PR6.json
+
+# compare-smoke runs the strategy bake-off — every registered strategy over
+# the 15-app corpus, COMPARE_SEEDS seeds, COMPARE_BUDGET test cases/events
+# per run — and writes the per-strategy coverage-at-budget table (mean and
+# variance across seeds) as JSON. The checked-in BENCH_PR7.json comes from
+# the defaults; CI runs the same target as a smoke signal on every PR.
+COMPARE_BUDGET ?= 300
+COMPARE_SEEDS ?= 3
+COMPARE_JSON ?= BENCH_PR7.json
+
+compare-smoke:
+	$(GO) run ./cmd/fragstudy -compare all -budget $(COMPARE_BUDGET) \
+		-seeds $(COMPARE_SEEDS) -seed 7 -cache off -comparejson $(COMPARE_JSON)
+	@cat $(COMPARE_JSON)
 
 bench-json:
 	$(GO) test -run '^$$' -bench 'StudyColdCache|StudyWarmCache|EvaluationWarmCache|EvaluationSnapshots|EvaluationPersistentWarm|FleetExplore1|FleetExplore2|FleetExplore4' \

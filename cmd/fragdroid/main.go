@@ -7,6 +7,7 @@
 //	fragdroid -app com.adobe.reader            # a built-in corpus app
 //	fragdroid -app ./myapp.sapk                # an app archive on disk
 //	fragdroid -app demo -inputs inputs.json    # with an analyst input file
+//	fragdroid -app demo -strategy biased -seed 11  # a registry strategy
 //	fragdroid -list                            # list built-in corpus apps
 //
 // Built-in corpus apps and their static extractions persist in the artifact
@@ -35,6 +36,7 @@ import (
 	"fragdroid/internal/sensitive"
 	"fragdroid/internal/session"
 	"fragdroid/internal/statics"
+	"fragdroid/internal/strategy"
 )
 
 func main() {
@@ -53,6 +55,8 @@ func run(args []string) error {
 		noReflection = fs.Bool("no-reflection", false, "disable the reflective fragment switch")
 		noForced     = fs.Bool("no-forced-start", false, "disable forced empty-Intent starts")
 		maxCases     = fs.Int("max-cases", 2000, "test case budget")
+		stratSel     = fs.String("strategy", "explorer", "exploration strategy: "+strings.Join(strategy.Names(), ", "))
+		seed         = fs.Int64("seed", 7, "RNG seed for randomized strategies (monkey, biased); deterministic ones ignore it")
 		verbose      = fs.Bool("v", false, "print the exploration transcript")
 		emitMeta     = fs.Bool("meta", false, "print the static-phase metadata JSON and exit")
 		emitJava     = fs.Bool("java", false, "print the jd-core style Java reconstruction and exit")
@@ -192,6 +196,31 @@ func run(args []string) error {
 	ex, err := extract()
 	if err != nil {
 		return err
+	}
+	if *stratSel != "explorer" {
+		opts := strategy.Options{
+			Budget:    *maxCases,
+			Seed:      *seed,
+			Inputs:    cfg.Inputs,
+			Snapshots: memo,
+			Devices:   fleet,
+			Curve:     true,
+		}
+		if trace != nil {
+			opts.Observer = trace
+		}
+		out, err := strategy.Run(*stratSel, ex, opts)
+		if err != nil {
+			return err
+		}
+		printOutcome(app.Manifest.Package, out, ex, *verbose)
+		if *curveCSV {
+			fmt.Println("\ntest_case,activities,fragments")
+			for _, p := range out.Curve {
+				fmt.Printf("%d,%d,%d\n", p.TestCase, p.Activities, p.Fragments)
+			}
+		}
+		return writeTrace(*tracePath, trace)
 	}
 	res, err := explorer.ExploreExtracted(ex, cfg)
 	if err != nil {
@@ -402,6 +431,31 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 			}
 		}
 	}, nil
+}
+
+// printOutcome summarizes a registry-strategy run: the engine-independent
+// coverage, work and sensitive-API findings.
+func printOutcome(pkg string, out *session.Outcome, ex *statics.Extraction, verbose bool) {
+	va, sa := len(out.VisitedActivities), len(ex.EffectiveActivities)
+	vf, sf := len(out.VisitedFragments), len(ex.EffectiveFragments)
+	fmt.Printf("package: %s\n", pkg)
+	fmt.Printf("strategy: %s\n", out.Strategy)
+	fmt.Printf("activities: %d/%d visited (%.2f%%)\n", va, sa, pct(va, sa))
+	fmt.Printf("fragments:  %d/%d visited (%.2f%%)\n", vf, sf, pct(vf, sf))
+	fmt.Printf("test cases: %d   device steps: %d   crashes: %d\n",
+		out.Stats.TestCases, out.Stats.Steps, out.Stats.Crashes)
+	if us := out.Collector.Usages(); len(us) > 0 {
+		fmt.Println("\nsensitive APIs:")
+		for _, u := range us {
+			fmt.Printf("  [%s] %-48s %s\n", u.Mark().ASCII(), u.API, strings.Join(u.Classes, ", "))
+		}
+	}
+	if verbose {
+		fmt.Println("\ntranscript:")
+		for _, line := range out.Transcript {
+			fmt.Println("  " + line)
+		}
+	}
 }
 
 func printResult(pkg string, res *explorer.Result, verbose bool) {

@@ -37,6 +37,18 @@ func TestRunDemo(t *testing.T) {
 	}
 }
 
+func TestRunStrategyFlag(t *testing.T) {
+	for _, name := range []string{"biased", "model", "trace"} {
+		if err := run([]string{"-app", "demo", "-strategy", name,
+			"-max-cases", "150", "-seed", "11", "-curve"}); err != nil {
+			t.Fatalf("run -strategy %s: %v", name, err)
+		}
+	}
+	if err := run([]string{"-app", "demo", "-strategy", "bogus"}); err == nil {
+		t.Fatal("-strategy bogus: want error")
+	}
+}
+
 func TestRunMeta(t *testing.T) {
 	if err := run([]string{"-app", "demo", "-meta"}); err != nil {
 		t.Fatalf("run -meta: %v", err)

@@ -8,12 +8,20 @@
 //	fragstudy -parallel 8       # same study, 8 apps analyzed concurrently
 //	fragstudy -table1           # the Table I coverage run (15 apps)
 //	fragstudy -table2           # the Table II sensitive-operations matrix
-//	fragstudy -compare          # FragDroid vs Activity-level MBT vs Monkey
+//	fragstudy -baselines        # FragDroid vs Activity-level MBT vs Monkey
+//	fragstudy -compare explorer,monkey,biased  # the strategy bake-off
 //	fragstudy -ceiling          # static reachability ceiling vs dynamic visits
 //	fragstudy -lint             # fraglint across the 217-app dataset
 //	fragstudy -table1 -metrics  # + the per-app session counter table
 //	fragstudy -table1 -trace t.json  # dump the structured event trace
 //	fragstudy -cache off        # disable the persistent artifact store
+//
+// -compare takes a comma-separated list of strategy names ("all" for every
+// registered one) and renders per-strategy coverage-vs-budget with mean and
+// variance over -seeds seeds; -budget bounds each run and -comparejson also
+// writes the result as JSON. -strategy reruns the table evaluations under a
+// different registered engine (Table II and -metrics work for any strategy;
+// Table I, -gap and -ceiling are explorer-only).
 //
 // -parallel applies to every mode (it must be at least 1) and defaults to
 // the machine's CPU count; results are deterministic and identical to a
@@ -31,10 +39,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 
 	"fragdroid/internal/artifact"
 	"fragdroid/internal/report"
 	"fragdroid/internal/session"
+	"fragdroid/internal/strategy"
 )
 
 func main() {
@@ -51,7 +61,12 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "number of apps analyzed concurrently")
 		table1   = fs.Bool("table1", false, "run the Table I coverage evaluation")
 		table2   = fs.Bool("table2", false, "run the Table II sensitive-operations evaluation")
-		compare  = fs.Bool("compare", false, "run the baseline comparison")
+		baselns  = fs.Bool("baselines", false, "run the FragDroid vs Activity-level MBT vs Monkey comparison")
+		compare  = fs.String("compare", "", "run the strategy bake-off over this comma-separated strategy list (\"all\" for every registered strategy)")
+		cmpJSON  = fs.String("comparejson", "", "with -compare: also write the bake-off result as JSON to this file")
+		budget   = fs.Int("budget", 400, "with -compare: full per-run budget (test cases / events)")
+		seeds    = fs.Int("seeds", 3, "with -compare: number of seeds per strategy (base seed is -seed)")
+		stratSel = fs.String("strategy", "explorer", "exploration strategy driving the table evaluations (see internal/strategy)")
 		gap      = fs.Bool("gap", false, "run the static-vs-dynamic sensitive-site comparison")
 		ceiling  = fs.Bool("ceiling", false, "run the static reachability ceiling vs dynamic confirmation table")
 		lintRun  = fs.Bool("lint", false, "run fraglint across the dataset and print the summary")
@@ -89,6 +104,8 @@ func run(args []string) error {
 	}
 
 	cfg := report.DefaultEvalConfig()
+	cfg.Strategy = *stratSel
+	cfg.Seed = *seed
 	cfg.Parallel = *parallel
 	cfg.Cache = cache
 	cfg.Snapshots = memo
@@ -113,6 +130,9 @@ func run(args []string) error {
 		return nil
 	}
 	if *table1 || *table2 || *gap || *ceiling {
+		if cfg.Strategy != "explorer" && (*table1 || *gap || *ceiling) {
+			return fmt.Errorf("-table1, -gap and -ceiling are explorer-only (got -strategy %s); use -compare for cross-strategy coverage", cfg.Strategy)
+		}
 		ev, err := report.RunEvaluation(cfg)
 		if err != nil {
 			return err
@@ -134,13 +154,45 @@ func run(args []string) error {
 		}
 		return writeTrace(*trace, buf)
 	}
-	if *compare {
+	if *baselns {
 		cmp, err := report.RunComparison(cfg, 7, 1500)
 		if err != nil {
 			return err
 		}
 		fmt.Println(report.RenderComparison(cmp))
 		return writeTrace(*trace, buf)
+	}
+	if *compare != "" {
+		list := *compare
+		if list == "all" {
+			list = strings.Join(strategy.Names(), ",")
+		}
+		names, err := strategy.ParseList(list)
+		if err != nil {
+			return err
+		}
+		bo, err := report.RunBakeoff(report.BakeoffConfig{
+			Strategies: names,
+			Budget:     *budget,
+			Seeds:      *seeds,
+			BaseSeed:   *seed,
+			Parallel:   *parallel,
+			Cache:      cache,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RenderBakeoff(bo))
+		if *cmpJSON != "" {
+			data, err := bo.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*cmpJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	res, err := report.RunStudyWith(report.StudyConfig{Seed: *seed, Parallel: *parallel, Cache: cache})

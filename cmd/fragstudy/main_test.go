@@ -33,9 +33,37 @@ func TestRunTables(t *testing.T) {
 	}
 }
 
+func TestRunBaselines(t *testing.T) {
+	if err := run([]string{"-baselines"}); err != nil {
+		t.Fatalf("run -baselines: %v", err)
+	}
+}
+
 func TestRunCompare(t *testing.T) {
-	if err := run([]string{"-compare"}); err != nil {
+	path := filepath.Join(t.TempDir(), "bakeoff.json")
+	err := run([]string{"-compare", "explorer,monkey", "-budget", "80",
+		"-seeds", "3", "-comparejson", path})
+	if err != nil {
 		t.Fatalf("run -compare: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bake-off JSON not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"mean_activity_pct"`) {
+		t.Fatal("bake-off JSON missing the coverage curve")
+	}
+	if err := run([]string{"-compare", "bogus"}); err == nil {
+		t.Fatal("-compare bogus: want error")
+	}
+}
+
+func TestRunStrategySelection(t *testing.T) {
+	if err := run([]string{"-table2", "-strategy", "monkey"}); err != nil {
+		t.Fatalf("run -table2 -strategy monkey: %v", err)
+	}
+	if err := run([]string{"-table1", "-strategy", "monkey"}); err == nil {
+		t.Fatal("-table1 -strategy monkey: want explorer-only error")
 	}
 }
 

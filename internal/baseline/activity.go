@@ -14,7 +14,6 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
 
 	"fragdroid/internal/apk"
 	"fragdroid/internal/device"
@@ -33,6 +32,9 @@ type Result struct {
 	// Stats carries the session counters (TestCases counts device sessions
 	// for ActivityExplorer, injected event batches for Monkey).
 	session.Stats
+	// Curve records cumulative coverage after each test case; empty unless
+	// the config opted into curve sampling.
+	Curve []session.CurvePoint
 	// Transcript is the run log.
 	Transcript []string
 }
@@ -60,6 +62,15 @@ type ActivityConfig struct {
 	// routes into the shared memo. Results are identical for any fleet
 	// size; warming requires Snapshots.
 	Devices int
+	// SampleCurve enables coverage-curve sampling after every test case.
+	// Off by default: curve samples add trace events, and legacy runs'
+	// event streams must stay byte-identical.
+	SampleCurve bool
+	// Effective restricts curve crediting to the given activity set (the
+	// static phase's effective activities, so baseline curves compare
+	// against the same denominator as the explorer's). Nil credits every
+	// visited activity.
+	Effective map[string]bool
 }
 
 // DefaultActivityConfig mirrors the explorer defaults minus fragment powers.
@@ -74,42 +85,160 @@ type actEngine struct {
 	fleet   *session.Fleet
 	visited map[string]robotium.Script
 	queue   []string
+	launch  robotium.Script
+
+	// Propose phase-machine state (same round discipline as the explorer:
+	// drain the queue, run the forced pass, repeat until nothing new).
+	phase      int
+	progressed bool
+	launchRan  bool
 }
+
+// Propose phases of the activity-level loop.
+const (
+	actLaunch = iota
+	actDrain
+	actForced
+	actRoundEnd
+	actDone
+)
 
 // ExploreActivities runs the Activity-level baseline on a loaded app.
 func ExploreActivities(app *apk.App, cfg ActivityConfig) (*Result, error) {
 	if cfg.MaxTestCases == 0 {
 		cfg.MaxTestCases = 600
 	}
-	e := &actEngine{
+	e := NewActivityStrategy(app, cfg)
+	out, err := session.Drive(app, e, session.Harness{
+		Budget:    cfg.MaxTestCases,
+		Observer:  cfg.Observer,
+		Snapshots: cfg.Snapshots,
+		Devices:   cfg.Devices,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		VisitedActivities: out.VisitedActivities,
+		Collector:         out.Collector,
+		Stats:             out.Stats,
+		Curve:             out.Curve,
+		Transcript:        out.Transcript,
+	}, nil
+}
+
+// NewActivityStrategy returns the Activity-level baseline as a
+// session.Strategy, ready for session.Drive.
+func NewActivityStrategy(app *apk.App, cfg ActivityConfig) *actEngine {
+	return &actEngine{
 		app:     app,
 		cfg:     cfg,
 		visited: make(map[string]robotium.Script),
+		launch:  robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}},
 	}
-	e.s = session.New(app, session.Options{
-		Budget:      cfg.MaxTestCases,
+}
+
+// Name implements session.Strategy.
+func (e *actEngine) Name() string { return "activity" }
+
+// SessionOptions implements session.Strategy: auto-dismiss on, no crash
+// triage (the baselines count crashes but produce no fault-finding output).
+func (e *actEngine) SessionOptions(h session.Harness) session.Options {
+	opts := session.Options{
+		Budget:      h.Budget,
 		AutoDismiss: true,
-		Observer:    cfg.Observer,
-		Snapshots:   cfg.Snapshots,
-	})
-	if cfg.Devices > 1 && cfg.Snapshots != nil {
-		e.fleet = session.NewFleet(cfg.Devices - 1)
+		Observer:    h.Observer,
+		Snapshots:   h.Snapshots,
 	}
-	defer e.fleet.Close()
-	if err := e.run(); err != nil {
-		return nil, err
+	if e.cfg.SampleCurve {
+		opts.Coverage = e.coverage
 	}
-	var acts []string
+	return opts
+}
+
+// coverage feeds the optional curve sampler: visited activities within the
+// effective set, no fragment crediting (the baseline cannot observe them).
+func (e *actEngine) coverage() (int, int) {
+	n := 0
 	for a := range e.visited {
-		acts = append(acts, a)
+		if e.cfg.Effective == nil || e.cfg.Effective[a] {
+			n++
+		}
 	}
-	sort.Strings(acts)
-	return &Result{
-		VisitedActivities: acts,
-		Collector:         e.s.Collector(),
-		Stats:             e.s.Stats(),
-		Transcript:        e.s.Transcript(),
-	}, nil
+	return n, 0
+}
+
+// Init binds the run context.
+func (e *actEngine) Init(ctx *session.DriveContext) error {
+	e.s = ctx.Session
+	e.fleet = ctx.Fleet
+	return nil
+}
+
+// Propose drives the launch → drain → forced-pass round loop.
+func (e *actEngine) Propose() (session.TestCase, bool) {
+	for {
+		switch e.phase {
+		case actLaunch:
+			e.phase = actDrain
+			return session.TestCase{Script: e.launch, Purpose: session.PurposeLaunch}, true
+		case actDrain:
+			if !e.launchRan {
+				e.phase = actDone
+				return session.TestCase{}, false
+			}
+			for len(e.queue) > 0 && !e.s.Exhausted() {
+				a := e.queue[0]
+				e.queue = e.queue[1:]
+				e.progressed = true
+				return session.TestCase{Run: func() error {
+					e.exploreActivity(a)
+					return nil
+				}}, true
+			}
+			e.phase = actForced
+		case actForced:
+			e.phase = actRoundEnd
+			if e.cfg.UseForcedStart && !e.s.Exhausted() {
+				return session.TestCase{Run: func() error {
+					if e.forcedPass() {
+						e.progressed = true
+					}
+					return nil
+				}}, true
+			}
+		case actRoundEnd:
+			if !e.progressed || e.s.Exhausted() {
+				e.phase = actDone
+				return session.TestCase{}, false
+			}
+			e.progressed = false
+			e.phase = actDrain
+		default:
+			return session.TestCase{}, false
+		}
+	}
+}
+
+// Observe handles the launch — the only script-form proposal this baseline
+// makes.
+func (e *actEngine) Observe(tc session.TestCase, d *device.Device, res robotium.Result) error {
+	e.launchRan = true
+	if res.Err != nil {
+		return fmt.Errorf("baseline: launch failed: %w", res.Err)
+	}
+	cur, err := d.CurrentActivity()
+	if err != nil {
+		return err
+	}
+	e.visit(cur, tc.Script)
+	return nil
+}
+
+// Finish fills the generic outcome with the visited activity set.
+func (e *actEngine) Finish(out *session.Outcome) error {
+	out.VisitedActivities = session.SortedKeys(e.visited)
+	return nil
 }
 
 func (e *actEngine) visit(activity string, route robotium.Script) {
@@ -122,35 +251,6 @@ func (e *actEngine) visit(activity string, route robotium.Script) {
 	e.s.Trace(session.Event{Kind: session.KindVisit, Activity: activity,
 		Script: route.Name, Ops: len(route.Ops),
 		Msg: fmt.Sprintf("visited activity %s (%d ops)", activity, len(route.Ops))})
-}
-
-func (e *actEngine) run() error {
-	launch := robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}}
-	d, res, _ := e.s.RunScript(launch, session.PurposeLaunch)
-	if res.Err != nil {
-		return fmt.Errorf("baseline: launch failed: %w", res.Err)
-	}
-	cur, err := d.CurrentActivity()
-	if err != nil {
-		return err
-	}
-	e.visit(cur, launch)
-
-	for {
-		progressed := false
-		for len(e.queue) > 0 && !e.s.Exhausted() {
-			a := e.queue[0]
-			e.queue = e.queue[1:]
-			e.exploreActivity(a)
-			progressed = true
-		}
-		if e.cfg.UseForcedStart && !e.s.Exhausted() && e.forcedPass() {
-			progressed = true
-		}
-		if !progressed || e.s.Exhausted() {
-			return nil
-		}
-	}
 }
 
 // exploreActivity clicks the widgets visible on first arrival, once each.

@@ -3,7 +3,6 @@ package baseline
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"fragdroid/internal/apk"
 	"fragdroid/internal/device"
@@ -31,6 +30,13 @@ type MonkeyConfig struct {
 	// restores. Results are identical for any fleet size; warming requires
 	// Snapshots.
 	Devices int
+	// SampleCurve enables coverage-curve sampling after every injected
+	// event. Off by default: curve samples add trace events, and legacy
+	// runs' event streams must stay byte-identical.
+	SampleCurve bool
+	// Effective restricts curve crediting to the given activity set; nil
+	// credits every reached activity.
+	Effective map[string]bool
 }
 
 // randomWords feed the monkey's text entry; none of them unlock input gates,
@@ -44,46 +50,138 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 	if cfg.Events == 0 {
 		cfg.Events = 2000
 	}
-	s := session.New(app, session.Options{Observer: cfg.Observer})
+	e := NewMonkeyStrategy(app, cfg)
+	out, err := session.Drive(app, e, session.Harness{
+		Observer:  cfg.Observer,
+		Snapshots: cfg.Snapshots,
+		Devices:   cfg.Devices,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		VisitedActivities: out.VisitedActivities,
+		Collector:         out.Collector,
+		Stats:             out.Stats,
+		Curve:             out.Curve,
+		Transcript:        out.Transcript,
+	}, nil
+}
+
+// monkeyEngine is Monkey as a session.Strategy: one run-form proposal
+// containing the whole event-injection loop on a long-lived device (random
+// testing has no test-case decomposition to expose — the event batch is the
+// test case).
+type monkeyEngine struct {
+	app       *apk.App
+	cfg       MonkeyConfig
+	s         *session.Session
+	fleet     *session.Fleet
+	visited   map[string]bool
+	launchOps []robotium.Op
+	done      bool
+}
+
+// NewMonkeyStrategy returns the Monkey exerciser as a session.Strategy,
+// ready for session.Drive. Callers should default cfg.Events before
+// constructing it (Monkey does).
+func NewMonkeyStrategy(app *apk.App, cfg MonkeyConfig) *monkeyEngine {
+	return &monkeyEngine{
+		app:       app,
+		cfg:       cfg,
+		visited:   make(map[string]bool),
+		launchOps: []robotium.Op{robotium.LaunchMain()},
+	}
+}
+
+// Name implements session.Strategy.
+func (e *monkeyEngine) Name() string { return "monkey" }
+
+// SessionOptions implements session.Strategy: the monkey is event-budgeted,
+// not test-case-budgeted, so the session budget stays unlimited and the loop
+// bills its event batches itself.
+func (e *monkeyEngine) SessionOptions(h session.Harness) session.Options {
+	opts := session.Options{Observer: h.Observer}
+	if e.cfg.SampleCurve {
+		opts.Coverage = e.coverage
+	}
+	return opts
+}
+
+// coverage feeds the optional curve sampler: reached activities within the
+// effective set, no fragment crediting.
+func (e *monkeyEngine) coverage() (int, int) {
+	n := 0
+	for a := range e.visited {
+		if e.cfg.Effective == nil || e.cfg.Effective[a] {
+			n++
+		}
+	}
+	return n, 0
+}
+
+// Init binds the run context and hands the launch warm-up to the fleet.
+// The monkey's only replayed route is the launch itself, so the fleet
+// reduces to a single warming task: interpret the launch on a private device
+// and publish its snapshot before the first restart needs it.
+func (e *monkeyEngine) Init(ctx *session.DriveContext) error {
+	e.s = ctx.Session
+	e.fleet = ctx.Fleet
+	if e.fleet != nil && e.cfg.Snapshots != nil {
+		memo := e.cfg.Snapshots
+		e.fleet.Submit(func() {
+			w := device.New(e.app, device.Options{})
+			if w.LaunchMain() == nil && !w.Crashed() {
+				memo.Store(e.app, false, e.launchOps, w)
+			}
+		})
+	}
+	return nil
+}
+
+// Propose yields the single run-form event loop, then reports done.
+func (e *monkeyEngine) Propose() (session.TestCase, bool) {
+	if e.done {
+		return session.TestCase{}, false
+	}
+	e.done = true
+	return session.TestCase{Run: e.loop}, true
+}
+
+// Observe is never called: the monkey makes no script-form proposals.
+func (e *monkeyEngine) Observe(session.TestCase, *device.Device, robotium.Result) error {
+	return nil
+}
+
+// Finish fills the generic outcome with the reached activity set.
+func (e *monkeyEngine) Finish(out *session.Outcome) error {
+	out.VisitedActivities = session.SortedKeys(e.visited)
+	return nil
+}
+
+// loop is the event-injection loop: every crash or exit restarts the app at
+// MAIN/LAUNCHER, and with a memo attached the restart restores the memoized
+// launch snapshot instead of re-interpreting the launch. Restore credits the
+// same logical steps and re-emits the launch's side effects, so counters and
+// observations are identical to a real relaunch.
+func (e *monkeyEngine) loop() error {
+	app, cfg, s := e.app, e.cfg, e.s
 	d := s.NewDevice()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	visited := make(map[string]bool)
 	restarts := 0
 	restores := 0
 
 	observe := func() {
-		if cur, err := d.CurrentActivity(); err == nil && !visited[cur] {
-			visited[cur] = true
+		if cur, err := d.CurrentActivity(); err == nil && !e.visited[cur] {
+			e.visited[cur] = true
 			s.Trace(session.Event{Kind: session.KindVisit, Activity: cur,
 				Msg: fmt.Sprintf("monkey reached %s", cur)})
 		}
 	}
 
-	// The monkey's only replayed route is the launch itself: every crash or
-	// exit restarts the app at MAIN/LAUNCHER, so with a memo attached the
-	// restart restores the memoized launch snapshot instead of
-	// re-interpreting the launch. Restore credits the same logical steps and
-	// re-emits the launch's side effects, so counters and observations are
-	// identical to a real relaunch.
-	launchOps := []robotium.Op{robotium.LaunchMain()}
-	if cfg.Devices > 1 && cfg.Snapshots != nil {
-		// The monkey's frontier is one prefix deep, so the fleet reduces to a
-		// single warming task: interpret the launch on a private device and
-		// publish its snapshot before the first restart needs it.
-		fleet := session.NewFleet(1)
-		memo := cfg.Snapshots
-		fleet.Submit(func() {
-			w := device.New(app, device.Options{})
-			if w.LaunchMain() == nil && !w.Crashed() {
-				memo.Store(app, false, launchOps, w)
-			}
-		})
-		defer fleet.Close()
-	}
 	launch := func() error {
 		if cfg.Snapshots != nil {
-			if snap, n, _ := cfg.Snapshots.LongestPrefix(app, false, launchOps); n == len(launchOps) {
+			if snap, n, _ := cfg.Snapshots.LongestPrefix(app, false, e.launchOps); n == len(e.launchOps) {
 				if err := d.Restore(snap); err == nil {
 					restores++
 					return nil
@@ -94,31 +192,37 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 			return err
 		}
 		if cfg.Snapshots != nil && !d.Crashed() {
-			cfg.Snapshots.Store(app, false, launchOps, d)
+			cfg.Snapshots.Store(app, false, e.launchOps, d)
 		}
 		return nil
 	}
 
 	if err := launch(); err != nil {
-		return nil, fmt.Errorf("baseline: monkey launch: %w", err)
+		return fmt.Errorf("baseline: monkey launch: %w", err)
 	}
 	observe()
+	s.SampleCurve()
 
-	for i := 0; i < cfg.Events; i++ {
+	// step injects one event. Each event is billed as one test case before
+	// it runs, so the optional coverage curve is indexed by events injected
+	// so far; with curve sampling off, per-event billing is observably
+	// identical to the historical end-of-run batch bill (nothing reads the
+	// counter mid-run).
+	step := func() error {
 		if d.Crashed() || !d.Running() {
 			if d.Crashed() {
 				s.MarkCrash(d.CrashReason(), robotium.Script{})
 			}
 			restarts++
 			if err := launch(); err != nil {
-				return nil, err
+				return err
 			}
 			observe()
-			continue
+			return nil
 		}
 		dump, err := d.Dump()
 		if err != nil {
-			continue
+			return nil
 		}
 		actions := app.Manifest.BroadcastActions()
 		switch p := rng.Intn(100); {
@@ -145,23 +249,21 @@ func Monkey(app *apk.App, cfg MonkeyConfig) (*Result, error) {
 			}
 		}
 		observe()
+		return nil
 	}
 
-	var acts []string
-	for a := range visited {
-		acts = append(acts, a)
+	for i := 0; i < cfg.Events; i++ {
+		s.AddTestCases(1)
+		if err := step(); err != nil {
+			return err
+		}
+		s.SampleCurve()
 	}
-	sort.Strings(acts)
-	s.AddTestCases(cfg.Events)
+
 	s.AddSteps(d.Steps())
 	if restores > 0 {
 		s.AddSnapshot(1, restores, d.RestoredSteps())
 	}
 	s.Notef("monkey done: %d events, %d crashes, %d restarts", cfg.Events, s.Stats().Crashes, restarts)
-	return &Result{
-		VisitedActivities: acts,
-		Collector:         s.Collector(),
-		Stats:             s.Stats(),
-		Transcript:        s.Transcript(),
-	}, nil
+	return nil
 }

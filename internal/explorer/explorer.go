@@ -178,9 +178,11 @@ func (r *Result) FragmentsInVisitedActivities() (visited, sum int) {
 	return visited, sum
 }
 
-// engine is the run state: the AFTM evolution and queue discipline. All
-// harness mechanics (budget, devices, crash triage, curve, transcript) live
-// in the embedded exploration session.
+// engine is the run state: the AFTM evolution and queue discipline,
+// implemented as a session.Strategy. All harness mechanics (budget, devices,
+// crash triage, curve, transcript) live in the session the drive loop binds
+// in Init; the evolutionary loop of §VI-C is expressed as the Propose phase
+// machine below.
 type engine struct {
 	app *apk.App
 	ex  *statics.Extraction
@@ -200,7 +202,31 @@ type engine struct {
 	reflected map[string]bool
 	// worklist holds interfaces awaiting Case 3 exploration.
 	worklist []workItem
+
+	// plan is the §VI-B initial queue, generated in Init.
+	plan []PlannedItem
+	// entry is the manifest entry activity (for the launch-failure error).
+	entry string
+	// launch is the entry test case every route grows from.
+	launch robotium.Script
+
+	// Propose phase-machine state: the current phase, the round counter, and
+	// the round's progress flag (§VI-C termination: queue empty and AFTM
+	// stable). launchRan records that the launch test case actually executed.
+	phase      int
+	round      int
+	progressed bool
+	launchRan  bool
 }
+
+// Propose phases of the evolutionary loop.
+const (
+	phaseLaunch = iota
+	phaseDrain
+	phaseForced
+	phaseRoundEnd
+	phaseDone
+)
 
 // CrashReport is one distinct force-close with a route that reproduces it.
 type CrashReport = session.CrashReport
@@ -246,12 +272,43 @@ func Explore(app *apk.App, cfg Config) (*Result, error) {
 	return ExploreExtracted(ex, cfg)
 }
 
-// ExploreExtracted runs the dynamic phase on an existing static extraction.
+// ExploreExtracted runs the dynamic phase on an existing static extraction:
+// it constructs the engine as a session.Strategy and lets the generic drive
+// loop run it, then re-attaches the explorer-specific riches (the evolved
+// model, visit routes, the initial plan) the generic Outcome cannot carry.
 func ExploreExtracted(ex *statics.Extraction, cfg Config) (*Result, error) {
 	if cfg.MaxTestCases == 0 {
 		cfg.MaxTestCases = 600
 	}
-	e := &engine{
+	e := NewStrategy(ex, cfg)
+	out, err := session.Drive(ex.App, e, session.Harness{
+		Budget:    cfg.MaxTestCases,
+		HaltOnAPI: cfg.haltOnAPI,
+		Observer:  cfg.Observer,
+		Snapshots: cfg.Snapshots,
+		Devices:   cfg.Devices,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Extraction:   ex,
+		InitialPlan:  e.plan,
+		Model:        e.model,
+		Visits:       e.visits,
+		Collector:    out.Collector,
+		Stats:        out.Stats,
+		Curve:        out.Curve,
+		CrashReports: out.CrashReports,
+		Transcript:   out.Transcript,
+	}, nil
+}
+
+// NewStrategy returns the FragDroid explorer as a session.Strategy, ready
+// for session.Drive. Callers that want the full explorer Result should use
+// ExploreExtracted; the strategy form serves the generic bake-off harness.
+func NewStrategy(ex *statics.Extraction, cfg Config) *engine {
+	return &engine{
 		app:       ex.App,
 		ex:        ex,
 		cfg:       cfg,
@@ -260,42 +317,45 @@ func ExploreExtracted(ex *statics.Extraction, cfg Config) (*Result, error) {
 		hints:     make(map[string]string),
 		explored:  make(map[string]bool),
 		reflected: make(map[string]bool),
+		launch:    robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}},
 	}
-	e.s = session.New(ex.App, session.Options{
-		Budget:        cfg.MaxTestCases,
-		HaltOnAPI:     cfg.haltOnAPI,
+}
+
+// Name implements session.Strategy.
+func (e *engine) Name() string { return "explorer" }
+
+// SessionOptions implements session.Strategy: the explorer runs with
+// auto-dismiss, crash triage, and curve sampling on.
+func (e *engine) SessionOptions(h session.Harness) session.Options {
+	return session.Options{
+		Budget:        h.Budget,
+		HaltOnAPI:     h.HaltOnAPI,
 		AutoDismiss:   true,
 		TriageCrashes: true,
-		Observer:      cfg.Observer,
+		Observer:      h.Observer,
 		Coverage:      e.coverage,
-		Snapshots:     cfg.Snapshots,
-	})
-	for _, w := range ex.InputWidgets {
+		Snapshots:     h.Snapshots,
+	}
+}
+
+// Init binds the run context, resolves the input hints, and generates the
+// §VI-B initial queue from the static AFTM.
+func (e *engine) Init(ctx *session.DriveContext) error {
+	e.s = ctx.Session
+	e.fleet = ctx.Fleet
+	for _, w := range e.ex.InputWidgets {
 		e.hints[w.Ref] = w.Hint
 	}
-	if cfg.Devices > 1 && cfg.Snapshots != nil {
-		e.fleet = session.NewFleet(cfg.Devices - 1)
-	}
-	defer e.fleet.Close()
-	plan := PlanQueue(ex.Model)
-	for _, item := range plan {
+	e.plan = PlanQueue(e.ex.Model)
+	for _, item := range e.plan {
 		e.s.Notef("queue item %s", item)
 	}
-	if err := e.run(); err != nil {
-		return nil, err
+	entry, err := e.app.Manifest.EntryActivity()
+	if err != nil {
+		return err
 	}
-	e.s.SampleCurve()
-	return &Result{
-		Extraction:   ex,
-		InitialPlan:  plan,
-		Model:        e.model,
-		Visits:       e.visits,
-		Collector:    e.s.Collector(),
-		Stats:        e.s.Stats(),
-		Curve:        e.s.Curve(),
-		CrashReports: e.s.CrashReports(),
-		Transcript:   e.s.Transcript(),
-	}, nil
+	e.entry = entry
+	return nil
 }
 
 // coverage feeds the session's curve sampler with the cumulative visited
@@ -383,52 +443,95 @@ func (e *engine) arrive(st iface, method ReachMethod, route robotium.Script) {
 	}
 }
 
-// run is the evolutionary loop: initial launch, breadth-first interface
-// exploration, reflection items, and the forced-start second loop, repeated
-// until the queue is empty and the AFTM stops changing (§VI-C).
-func (e *engine) run() error {
-	entry, err := e.app.Manifest.EntryActivity()
-	if err != nil {
-		return err
+// Propose is the evolutionary loop of §VI-C as a phase machine: the initial
+// launch, breadth-first interface exploration (one run-form unit per queue
+// item), the forced-start second loop, and rounds repeated until the queue
+// is empty and the AFTM stops changing.
+func (e *engine) Propose() (session.TestCase, bool) {
+	for {
+		switch e.phase {
+		case phaseLaunch:
+			e.phase = phaseDrain
+			e.round = 1
+			return session.TestCase{Script: e.launch, Purpose: session.PurposeLaunch}, true
+		case phaseDrain:
+			if !e.launchRan {
+				// The launch test case never executed (budget exhausted
+				// before it); Finish surfaces the failure.
+				e.phase = phaseDone
+				return session.TestCase{}, false
+			}
+			for len(e.worklist) > 0 && !e.s.Exhausted() {
+				item := e.worklist[0]
+				e.worklist = e.worklist[1:]
+				if e.explored[item.target.key()] {
+					continue
+				}
+				e.explored[item.target.key()] = true
+				e.progressed = true
+				return session.TestCase{Run: func() error {
+					e.s.Notef("explore interface %s (reached via %s)", item.target, item.method)
+					e.exploreInterface(item)
+					return nil
+				}}, true
+			}
+			e.phase = phaseForced
+		case phaseForced:
+			e.phase = phaseRoundEnd
+			if e.cfg.UseForcedStart && !e.s.Exhausted() {
+				return session.TestCase{Run: func() error {
+					if e.forcedStartPass() {
+						e.progressed = true
+					}
+					return nil
+				}}, true
+			}
+		case phaseRoundEnd:
+			if !e.progressed || e.s.Exhausted() {
+				e.s.Notef("terminated after round %d: queue empty and AFTM stable (test cases: %d)", e.round, e.s.Stats().TestCases)
+				e.phase = phaseDone
+				return session.TestCase{}, false
+			}
+			e.round++
+			e.progressed = false
+			e.phase = phaseDrain
+		default:
+			return session.TestCase{}, false
+		}
 	}
-	launch := robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}}
-	d, res, ok := e.s.RunScript(launch, session.PurposeLaunch)
-	if !ok {
-		return errors.New("explorer: test-case budget exhausted before launch")
-	}
+}
+
+// Observe handles the launch test case — the only script-form proposal the
+// explorer makes (interface exploration runs as self-driven units).
+func (e *engine) Observe(tc session.TestCase, d *device.Device, res robotium.Result) error {
+	e.launchRan = true
 	if res.Err != nil {
 		e.s.Notef("entry launch failed: %v", res.Err)
-		return fmt.Errorf("explorer: cannot launch entry %s: %w", entry, res.Err)
+		return fmt.Errorf("explorer: cannot launch entry %s: %w", e.entry, res.Err)
 	}
 	st, _, err := e.observe(d)
 	if err != nil {
 		return err
 	}
-	e.arrive(st, ReachLaunch, launch)
+	e.arrive(st, ReachLaunch, tc.Script)
+	return nil
+}
 
-	for round := 1; ; round++ {
-		progressed := false
-		for len(e.worklist) > 0 && !e.s.Exhausted() {
-			item := e.worklist[0]
-			e.worklist = e.worklist[1:]
-			if e.explored[item.target.key()] {
-				continue
-			}
-			e.explored[item.target.key()] = true
-			e.s.Notef("explore interface %s (reached via %s)", item.target, item.method)
-			e.exploreInterface(item)
-			progressed = true
-		}
-		if e.cfg.UseForcedStart && !e.s.Exhausted() {
-			if e.forcedStartPass() {
-				progressed = true
-			}
-		}
-		if !progressed || e.s.Exhausted() {
-			e.s.Notef("terminated after round %d: queue empty and AFTM stable (test cases: %d)", round, e.s.Stats().TestCases)
-			return nil
+// Finish fills the generic outcome with the visited component sets.
+func (e *engine) Finish(out *session.Outcome) error {
+	if !e.launchRan {
+		return errors.New("explorer: test-case budget exhausted before launch")
+	}
+	for n := range e.visits {
+		if n.Kind == aftm.KindActivity {
+			out.VisitedActivities = append(out.VisitedActivities, n.Name)
+		} else {
+			out.VisitedFragments = append(out.VisitedFragments, n.Name)
 		}
 	}
+	sort.Strings(out.VisitedActivities)
+	sort.Strings(out.VisitedFragments)
+	return nil
 }
 
 // replayTo re-provisions a device and replays a route, verifying arrival.

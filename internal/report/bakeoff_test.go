@@ -1,0 +1,143 @@
+package report
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fragdroid/internal/strategy"
+)
+
+// TestBakeoffCompares pins the bake-off harness: every registered strategy
+// over the corpus at a small budget, three seeds, and the derived table must
+// be internally consistent — a cell per grid budget, coverage monotone
+// non-decreasing along the budget axis, deterministic strategies with zero
+// variance, and the explorer beating plain Monkey on mean coverage at the
+// full budget.
+func TestBakeoffCompares(t *testing.T) {
+	bo, err := RunBakeoff(BakeoffConfig{Budget: 160, Seeds: 3, BaseSeed: 7})
+	if err != nil {
+		t.Fatalf("RunBakeoff: %v", err)
+	}
+	if got, want := len(bo.Rows), len(strategy.Names()); got != want {
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+	if bo.Seeds != 3 || bo.Apps != 15 {
+		t.Fatalf("bakeoff shape: seeds=%d apps=%d", bo.Seeds, bo.Apps)
+	}
+	byName := make(map[string]BakeoffRow)
+	for _, r := range bo.Rows {
+		byName[r.Strategy] = r
+		if len(r.Cells) != len(bo.Grid) {
+			t.Fatalf("%s: %d cells, grid %v", r.Strategy, len(r.Cells), bo.Grid)
+		}
+		last := 0.0
+		for _, c := range r.Cells {
+			if c.MeanActPct < last {
+				t.Errorf("%s: coverage shrank along the budget axis: %.2f after %.2f",
+					r.Strategy, c.MeanActPct, last)
+			}
+			last = c.MeanActPct
+			if c.VarActPct < 0 {
+				t.Errorf("%s: negative variance %.4f", r.Strategy, c.VarActPct)
+			}
+		}
+		if full := r.Cells[len(r.Cells)-1]; full.MeanActPct <= 0 {
+			t.Errorf("%s: zero coverage at full budget", r.Strategy)
+		}
+		if r.TestCases == 0 || r.APIs == 0 {
+			t.Errorf("%s: empty work/API aggregates: cases=%d apis=%d",
+				r.Strategy, r.TestCases, r.APIs)
+		}
+	}
+	// Deterministic strategies must not wobble with the seed.
+	for _, name := range []string{"explorer", "activity", "model", "trace"} {
+		for _, c := range byName[name].Cells {
+			if c.VarActPct != 0 {
+				t.Errorf("%s: deterministic strategy has variance %.4f at budget %d",
+					name, c.VarActPct, c.Budget)
+			}
+		}
+	}
+	// The paper's premise at bake-off scale: the evolutionary explorer out-
+	// covers unguided Monkey under the same budget.
+	exp := byName["explorer"].Cells[len(bo.Grid)-1].MeanActPct
+	mk := byName["monkey"].Cells[len(bo.Grid)-1].MeanActPct
+	if exp <= mk {
+		t.Errorf("explorer %.2f%% <= monkey %.2f%% at full budget", exp, mk)
+	}
+	// Only the fragment-aware strategies credit fragments.
+	if byName["explorer"].FragmentPct <= 0 {
+		t.Error("explorer credited no fragments")
+	}
+	if byName["monkey"].FragmentPct != 0 || byName["biased"].FragmentPct != 0 {
+		t.Error("activity-level strategies credited fragments")
+	}
+
+	out := RenderBakeoff(bo)
+	for _, want := range append(strategy.Names(), "Strategy bake-off", "act%@160") {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+
+	data, err := bo.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var back Bakeoff
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(&back, bo) {
+		t.Error("JSON round-trip changed the bake-off")
+	}
+}
+
+// TestBakeoffRejectsUnknownStrategy pins the validation path.
+func TestBakeoffRejectsUnknownStrategy(t *testing.T) {
+	if _, err := RunBakeoff(BakeoffConfig{Strategies: []string{"bogus"}}); err == nil {
+		t.Fatal("RunBakeoff accepted an unknown strategy")
+	}
+}
+
+// TestEvaluationStrategySelection pins EvalConfig.Strategy: a monkey-driven
+// evaluation fills the generic outcome (run metrics, Table II) without the
+// explorer-specific result, and unknown names are rejected.
+func TestEvaluationStrategySelection(t *testing.T) {
+	cfg := DefaultEvalConfig()
+	cfg.Strategy = "monkey"
+	cfg.Seed = 7
+	cfg.Explorer.MaxTestCases = 200
+	ev, err := RunEvaluation(cfg)
+	if err != nil {
+		t.Fatalf("RunEvaluation(monkey): %v", err)
+	}
+	if ev.Strategy != "monkey" {
+		t.Errorf("strategy label = %q", ev.Strategy)
+	}
+	for _, ar := range ev.Apps {
+		if ar.Result != nil {
+			t.Fatalf("%s: monkey run filled the explorer result", ar.Row.Package)
+		}
+		if ar.Outcome == nil || ar.Outcome.Strategy != "monkey" {
+			t.Fatalf("%s: missing or mislabeled outcome", ar.Row.Package)
+		}
+	}
+	if tot := ev.TotalStats(); tot.TestCases != 200*len(ev.Apps) {
+		t.Errorf("total test cases = %d, want %d", tot.TestCases, 200*len(ev.Apps))
+	}
+	if st := ev.BuildTable2().ComputeStats(); st.DistinctAPIs == 0 {
+		t.Error("monkey evaluation observed no sensitive APIs")
+	}
+	metrics := RenderRunMetrics(ev)
+	if !strings.Contains(metrics, "| monkey |") {
+		t.Error("run-metrics table missing the strategy column")
+	}
+
+	cfg.Strategy = "bogus"
+	if _, err := RunEvaluation(cfg); err == nil {
+		t.Fatal("RunEvaluation accepted an unknown strategy")
+	}
+}

@@ -12,17 +12,28 @@ import (
 
 	"fragdroid/internal/apk"
 	"fragdroid/internal/artifact"
-	"fragdroid/internal/baseline"
 	"fragdroid/internal/corpus"
 	"fragdroid/internal/explorer"
 	"fragdroid/internal/sensitive"
 	"fragdroid/internal/session"
 	"fragdroid/internal/statics"
+	"fragdroid/internal/strategy"
 )
 
 // EvalConfig tunes a full paper evaluation run.
 type EvalConfig struct {
-	// Explorer is the FragDroid configuration used per app.
+	// Strategy names the exploration strategy driving the per-app runs, from
+	// the internal/strategy registry. Empty means "explorer" (FragDroid
+	// itself), the only strategy that fills the explorer-specific Result and
+	// hence supports Table I, the gap and the ceiling tables; every strategy
+	// supports the generic Outcome and the tables derived from it (Table II,
+	// run metrics).
+	Strategy string
+	// Seed feeds randomized strategies' RNGs (monkey, biased); deterministic
+	// strategies ignore it.
+	Seed int64
+	// Explorer is the FragDroid configuration used per app. Its budget,
+	// inputs and observer also apply to non-explorer strategies.
 	Explorer explorer.Config
 	// Parallel runs up to that many apps concurrently (each on its own
 	// simulated device). Zero or one means sequential. Results are
@@ -79,19 +90,25 @@ func DefaultEvalConfig() EvalConfig {
 
 // AppResult couples one corpus app with its exploration outcome.
 type AppResult struct {
-	Row    corpus.PaperRow
-	App    *apk.App
+	Row corpus.PaperRow
+	App *apk.App
+	// Result is the explorer-specific outcome; nil for other strategies.
 	Result *explorer.Result
+	// Outcome is the engine-independent outcome, set for every strategy.
+	Outcome *session.Outcome
 }
 
-// Evaluation is the outcome of running FragDroid over the 15-app corpus.
+// Evaluation is the outcome of running one strategy over the 15-app corpus.
 type Evaluation struct {
-	Apps []AppResult
+	// Strategy is the registry name of the engine that produced the runs.
+	Strategy string
+	Apps     []AppResult
 }
 
 // RunMetrics couples one corpus app with its run's session counters.
 type RunMetrics struct {
-	Package string
+	Package  string
+	Strategy string
 	session.Stats
 }
 
@@ -99,7 +116,7 @@ type RunMetrics struct {
 func (ev *Evaluation) RunMetrics() []RunMetrics {
 	out := make([]RunMetrics, 0, len(ev.Apps))
 	for _, ar := range ev.Apps {
-		out = append(out, RunMetrics{Package: ar.Row.Package, Stats: ar.Result.Stats})
+		out = append(out, RunMetrics{Package: ar.Row.Package, Strategy: ev.Strategy, Stats: ar.Outcome.Stats})
 	}
 	return out
 }
@@ -108,7 +125,7 @@ func (ev *Evaluation) RunMetrics() []RunMetrics {
 func (ev *Evaluation) TotalStats() session.Stats {
 	var total session.Stats
 	for _, ar := range ev.Apps {
-		total = total.Add(ar.Result.Stats)
+		total = total.Add(ar.Outcome.Stats)
 	}
 	return total
 }
@@ -124,6 +141,14 @@ func (ev *Evaluation) TotalStats() session.Stats {
 // positional. Per-app failures are aggregated with errors.Join rather than
 // reported first-only.
 func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
+	strat := cfg.Strategy
+	if strat == "" {
+		strat = "explorer"
+	}
+	if !strategy.Known(strat) {
+		return nil, fmt.Errorf("report: unknown strategy %q (known: %s)",
+			strat, strings.Join(strategy.Names(), ", "))
+	}
 	rows := corpus.PaperRows()
 	cache := cfg.cache()
 	cfg.attachPersistence()
@@ -153,19 +178,36 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 			return true
 		}},
 		{limit: limits.Run, fn: func(i int) bool {
-			ecfg := cfg.Explorer
-			if ecfg.Snapshots == nil {
-				ecfg.Snapshots = cfg.Snapshots
+			if strat == "explorer" {
+				ecfg := cfg.Explorer
+				if ecfg.Snapshots == nil {
+					ecfg.Snapshots = cfg.Snapshots
+				}
+				if ecfg.Devices == 0 {
+					ecfg.Devices = cfg.Devices
+				}
+				res, err := explorer.ExploreExtracted(exs[i], ecfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("report: explore %s: %w", rows[i].Package, err)
+					return false
+				}
+				results[i] = AppResult{Row: rows[i], App: apps[i], Result: res, Outcome: strategy.FromExplorer(res)}
+				return true
 			}
-			if ecfg.Devices == 0 {
-				ecfg.Devices = cfg.Devices
-			}
-			res, err := explorer.ExploreExtracted(exs[i], ecfg)
+			out, err := strategy.Run(strat, exs[i], strategy.Options{
+				Budget:    cfg.Explorer.MaxTestCases,
+				Seed:      cfg.Seed,
+				Inputs:    cfg.Explorer.Inputs,
+				Observer:  cfg.Explorer.Observer,
+				Snapshots: cfg.Snapshots,
+				Devices:   cfg.Devices,
+				Curve:     true,
+			})
 			if err != nil {
-				errs[i] = fmt.Errorf("report: explore %s: %w", rows[i].Package, err)
+				errs[i] = fmt.Errorf("report: %s on %s: %w", strat, rows[i].Package, err)
 				return false
 			}
-			results[i] = AppResult{Row: rows[i], App: apps[i], Result: res}
+			results[i] = AppResult{Row: rows[i], App: apps[i], Outcome: out}
 			return true
 		}},
 	})
@@ -178,7 +220,7 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 		// flush failure only costs the next run its warm start.
 		_ = cfg.Snapshots.Flush()
 	}
-	return &Evaluation{Apps: results}, nil
+	return &Evaluation{Strategy: strat, Apps: results}, nil
 }
 
 // Table1Row is one measured row of Table I.
@@ -246,12 +288,9 @@ func (t *Table1) Averages() (actPct, fragPct, fivaPct float64) {
 }
 
 // BuildTable2 derives the sensitive-operations matrix from an evaluation.
+// It reads the generic outcome, so it works for every strategy.
 func (ev *Evaluation) BuildTable2() *sensitive.Matrix {
-	var cs []*sensitive.Collector
-	for _, ar := range ev.Apps {
-		cs = append(cs, ar.Result.Collector)
-	}
-	return sensitive.NewMatrix(cs)
+	return sensitive.NewMatrix(ev.collectors())
 }
 
 // CategoryStat is the per-category breakdown of the study (the paper lists
@@ -402,7 +441,10 @@ func usesFragments(app *apk.App) bool {
 
 // ComparisonRow reports one system's aggregate behaviour over the corpus.
 type ComparisonRow struct {
-	System string
+	// System is the display name (the paper's terminology); Strategy is the
+	// registry name the run was keyed by in internal/strategy.
+	System   string
+	Strategy string
 	// ActivityPct is the mean activity coverage rate.
 	ActivityPct float64
 	// FragmentPct is the mean fragment coverage rate (0 for tools that
@@ -426,8 +468,17 @@ type Comparison struct {
 	FragDroidStats sensitive.Stats
 }
 
-// RunComparison runs all three systems over the corpus and aggregates.
+// baselineSystems maps the paper's comparison systems to registry names.
+var baselineSystems = []struct{ Strategy, System string }{
+	{"activity", "Activity-level MBT"},
+	{"monkey", "Monkey"},
+}
+
+// RunComparison runs all three systems over the corpus and aggregates. The
+// baselines run through the strategy registry, so they are exactly the
+// engines `fragstudy -compare` benchmarks.
 func RunComparison(cfg EvalConfig, monkeySeed int64, monkeyEvents int) (*Comparison, error) {
+	cfg.Strategy = "explorer" // the reference system; baselines run below
 	ev, err := RunEvaluation(cfg)
 	if err != nil {
 		return nil, err
@@ -441,6 +492,7 @@ func RunComparison(cfg EvalConfig, monkeySeed int64, monkeyEvents int) (*Compari
 	cmp := &Comparison{FragDroidStats: fragStats}
 	cmp.Rows = append(cmp.Rows, ComparisonRow{
 		System:               "FragDroid",
+		Strategy:             "explorer",
 		ActivityPct:          actA,
 		FragmentPct:          actF,
 		APIs:                 fragStats.DistinctAPIs,
@@ -448,8 +500,8 @@ func RunComparison(cfg EvalConfig, monkeySeed int64, monkeyEvents int) (*Compari
 		TestCases:            ev.TotalStats().TestCases,
 	})
 
-	for _, sys := range []string{"Activity-level MBT", "Monkey"} {
-		row, err := runBaselineSystem(sys, ev, cfg, monkeySeed, monkeyEvents, fdRelations)
+	for _, sys := range baselineSystems {
+		row, err := runBaselineSystem(sys.Strategy, sys.System, ev, cfg, monkeySeed, monkeyEvents, fdRelations)
 		if err != nil {
 			return nil, err
 		}
@@ -466,7 +518,7 @@ func RunComparison(cfg EvalConfig, monkeySeed int64, monkeyEvents int) (*Compari
 func (ev *Evaluation) collectors() []*sensitive.Collector {
 	var cs []*sensitive.Collector
 	for _, ar := range ev.Apps {
-		cs = append(cs, ar.Result.Collector)
+		cs = append(cs, ar.Outcome.Collector)
 	}
 	return cs
 }
@@ -487,44 +539,37 @@ func relationSet(cs []*sensitive.Collector) map[string]bool {
 	return out
 }
 
-func runBaselineSystem(sys string, ev *Evaluation, cfg EvalConfig, seed int64, events int, fdRelations map[string]bool) (ComparisonRow, error) {
+func runBaselineSystem(strat, sys string, ev *Evaluation, cfg EvalConfig, seed int64, events int, fdRelations map[string]bool) (ComparisonRow, error) {
 	var collectors []*sensitive.Collector
 	var actPctSum float64
 	var stats session.Stats
 	for _, ar := range ev.Apps {
-		var (
-			res *baseline.Result
-			err error
-		)
-		switch sys {
-		case "Activity-level MBT":
-			bcfg := baseline.DefaultActivityConfig()
-			bcfg.Inputs = cfg.Explorer.Inputs
-			bcfg.MaxTestCases = cfg.Explorer.MaxTestCases
-			bcfg.Observer = cfg.Explorer.Observer
-			bcfg.Snapshots = cfg.Snapshots
-			bcfg.Devices = cfg.Devices
-			res, err = baseline.ExploreActivities(ar.App, bcfg)
-		case "Monkey":
-			res, err = baseline.Monkey(ar.App, baseline.MonkeyConfig{
-				Seed: seed, Events: events, Observer: cfg.Explorer.Observer,
-				Snapshots: cfg.Snapshots, Devices: cfg.Devices})
-		default:
-			return ComparisonRow{}, fmt.Errorf("report: unknown system %q", sys)
+		opts := strategy.Options{
+			Budget:    cfg.Explorer.MaxTestCases,
+			Seed:      seed,
+			Inputs:    cfg.Explorer.Inputs,
+			Observer:  cfg.Explorer.Observer,
+			Snapshots: cfg.Snapshots,
+			Devices:   cfg.Devices,
 		}
+		if strat == "monkey" {
+			opts.Budget = events
+		}
+		out, err := strategy.Run(strat, ar.Result.Extraction, opts)
 		if err != nil {
 			return ComparisonRow{}, fmt.Errorf("report: %s on %s: %w", sys, ar.Row.Package, err)
 		}
-		collectors = append(collectors, res.Collector)
-		effective := countEffective(ar.Result.Extraction, res.VisitedActivities)
+		collectors = append(collectors, out.Collector)
+		effective := countEffective(ar.Result.Extraction, out.VisitedActivities)
 		actPctSum += rate(effective, len(ar.Result.Extraction.EffectiveActivities))
-		stats = stats.Add(res.Stats)
+		stats = stats.Add(out.Stats)
 	}
 	m := sensitive.NewMatrix(collectors)
 	st := m.ComputeStats()
 	missed := missedPct(fdRelations, relationSet(collectors))
 	return ComparisonRow{
 		System:               sys,
+		Strategy:             strat,
 		ActivityPct:          actPctSum / float64(len(ev.Apps)),
 		FragmentPct:          0, // activity-level tools cannot credit fragments
 		APIs:                 st.DistinctAPIs,

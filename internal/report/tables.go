@@ -87,18 +87,18 @@ func RenderTable2(m *sensitive.Matrix) string {
 func RenderRunMetrics(ev *Evaluation) string {
 	var b strings.Builder
 	b.WriteString("## Run metrics\n\n")
-	b.WriteString("| app | test cases | device steps | replays | reflection attempts | reflection failures | forced starts | input fills | crashes | snapshot hits | snapshot restores | steps saved | evictions | bytes pinned |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
-	row := func(name string, s sessionStats) {
-		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d |\n",
-			name, s.TestCases, s.Steps, s.Replays, s.ReflectionAttempts,
+	b.WriteString("| app | strategy | test cases | device steps | replays | reflection attempts | reflection failures | forced starts | input fills | crashes | snapshot hits | snapshot restores | steps saved | evictions | bytes pinned |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	row := func(name, strat string, s sessionStats) {
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d | %d |\n",
+			name, strat, s.TestCases, s.Steps, s.Replays, s.ReflectionAttempts,
 			s.ReflectionFailures, s.ForcedStarts, s.InputFills, s.Crashes,
 			s.SnapshotHits, s.SnapshotRestores, s.StepsSaved, s.Evictions, s.BytesPinned)
 	}
 	for _, m := range ev.RunMetrics() {
-		row(m.Package, m.Stats)
+		row(m.Package, m.Strategy, m.Stats)
 	}
-	row("**total**", ev.TotalStats())
+	row("**total**", ev.Strategy, ev.TotalStats())
 	return b.String()
 }
 
@@ -124,17 +124,46 @@ func RenderStudy(s *StudyResult) string {
 func RenderComparison(c *Comparison) string {
 	var b strings.Builder
 	b.WriteString("Baseline comparison over the 15-app corpus\n\n")
-	fmt.Fprintf(&b, "%-20s %10s %10s %6s %10s %22s %10s\n",
-		"System", "Act cov%", "Frag cov%", "APIs", "Frag rels", "Missed FragDroid rels", "Test cases")
-	b.WriteString(strings.Repeat("-", 96))
+	fmt.Fprintf(&b, "%-20s %-10s %10s %10s %6s %10s %22s %10s\n",
+		"System", "Strategy", "Act cov%", "Frag cov%", "APIs", "Frag rels", "Missed FragDroid rels", "Test cases")
+	b.WriteString(strings.Repeat("-", 107))
 	b.WriteByte('\n')
 	for _, r := range c.Rows {
-		fmt.Fprintf(&b, "%-20s %9.2f%% %9.2f%% %6d %10d %21.1f%% %10d\n",
-			r.System, r.ActivityPct, r.FragmentPct, r.APIs,
+		fmt.Fprintf(&b, "%-20s %-10s %9.2f%% %9.2f%% %6d %10d %21.1f%% %10d\n",
+			r.System, r.Strategy, r.ActivityPct, r.FragmentPct, r.APIs,
 			r.FragmentAPIRelations, r.MissedFragmentAPIPct, r.TestCases)
 	}
-	b.WriteString(strings.Repeat("-", 96))
+	b.WriteString(strings.Repeat("-", 107))
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "FragDroid reference: %s\n", c.FragDroidStats)
+	return b.String()
+}
+
+// RenderBakeoff renders the strategy bake-off as a markdown table: one row
+// per strategy, one coverage column per grid budget (mean ± variance across
+// seeds), plus fragment coverage, distinct APIs and total work at the full
+// budget.
+func RenderBakeoff(bo *Bakeoff) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Strategy bake-off (%d apps, %d seeds from %d, budget %d)\n\n",
+		bo.Apps, bo.Seeds, bo.BaseSeed, bo.Budget)
+	b.WriteString("Cells are mean ± variance of per-seed corpus-mean effective-activity coverage.\n\n")
+	b.WriteString("| strategy |")
+	for _, budget := range bo.Grid {
+		fmt.Fprintf(&b, " act%%@%d |", budget)
+	}
+	b.WriteString(" frag% | APIs | test cases |\n")
+	b.WriteString("|---|")
+	for range bo.Grid {
+		b.WriteString("---|")
+	}
+	b.WriteString("---|---|---|\n")
+	for _, r := range bo.Rows {
+		fmt.Fprintf(&b, "| %s |", r.Strategy)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, " %.2f ±%.2f |", c.MeanActPct, c.VarActPct)
+		}
+		fmt.Fprintf(&b, " %.2f | %d | %d |\n", r.FragmentPct, r.APIs, r.TestCases)
+	}
 	return b.String()
 }

@@ -1,0 +1,36 @@
+package strategy
+
+import (
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/explorer"
+	"fragdroid/internal/robotium"
+)
+
+// CorpusLibrary builds a trace library from the paper corpus: the explorer
+// runs on every corpus app except the excluded one (the app under test must
+// not reuse its own traces) and each run's first-arrival routes are
+// harvested as recordings. This is the PuppetDroid corpus stand-in: a pool
+// of working UI traces collected on real apps, waiting to be adapted to
+// similar ones. Exploration is deterministic, so the library is too.
+func CorpusLibrary(exclude string) (*Library, error) {
+	lib := NewLibrary()
+	for _, row := range corpus.PaperRows() {
+		if row.Package == exclude {
+			continue
+		}
+		app, err := corpus.BuildApp(corpus.PaperSpec(row))
+		if err != nil {
+			return nil, err
+		}
+		res, err := explorer.Explore(app, explorer.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		routes := make(map[string]robotium.Script, len(res.Visits))
+		for n, v := range res.Visits {
+			routes[n.String()] = v.Route
+		}
+		HarvestVisits(lib, row.Package, routes)
+	}
+	return lib, nil
+}
