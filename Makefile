@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: build test race vet lint bench bench-json compare-smoke
+.PHONY: build test race vet lint bench bench-json compare-smoke directed-smoke
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,21 @@ compare-smoke:
 	$(GO) run ./cmd/fragstudy -compare all -budget $(COMPARE_BUDGET) \
 		-seeds $(COMPARE_SEEDS) -seed 7 -cache off -comparejson $(COMPARE_JSON)
 	@cat $(COMPARE_JSON)
+
+# directed-smoke runs the PR8 directed-exploration study: the 313-site gap
+# classification (dynamically confirmed / statically lifted-but-unreached /
+# unliftable, rows summing to the 313-invocation static ceiling and the 269
+# confirmed invocations) plus the directed-vs-undirected steps-to-target
+# comparison over DIRECTED_SEED..+2, writing the bench summary as JSON. The
+# checked-in BENCH_PR8.json comes from the defaults; CI runs the same target
+# as a gate on every PR (the totals and the mean step ratio are deterministic).
+DIRECTED_SEED ?= 1
+DIRECTED_JSON ?= BENCH_PR8.json
+
+directed-smoke:
+	$(GO) run ./cmd/fragstudy -directed -seed $(DIRECTED_SEED) -cache off \
+		-directedjson $(DIRECTED_JSON)
+	@cat $(DIRECTED_JSON)
 
 bench-json:
 	$(GO) test -run '^$$' -bench 'StudyColdCache|StudyWarmCache|EvaluationWarmCache|EvaluationSnapshots|EvaluationPersistentWarm|FleetExplore1|FleetExplore2|FleetExplore4' \

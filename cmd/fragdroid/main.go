@@ -8,6 +8,7 @@
 //	fragdroid -app ./myapp.sapk                # an app archive on disk
 //	fragdroid -app demo -inputs inputs.json    # with an analyst input file
 //	fragdroid -app demo -strategy biased -seed 11  # a registry strategy
+//	fragdroid -app demo -target location/getProviders -directed  # path-guided
 //	fragdroid -list                            # list built-in corpus apps
 //
 // Built-in corpus apps and their static extractions persist in the artifact
@@ -65,6 +66,7 @@ func run(args []string) error {
 		curveCSV     = fs.Bool("curve", false, "append the coverage-vs-test-case curve as CSV")
 		runTest      = fs.String("run-test", "", "execute a stored test-case JSON file on the app and exit")
 		target       = fs.String("target", "", "targeted mode: drive the app until this sensitive API fires (e.g. location/getProviders)")
+		directed     = fs.Bool("directed", false, "with -target: seed the search with lifted launcher-to-site routes (skips unreachable targets)")
 		snapshots    = fs.String("snapshots", "on", "device snapshot memoization: on, off, or a memo capacity")
 		devices      = fs.String("devices", "auto", "in-process device fleet size: auto (GOMAXPROCS, capped at 8) or a count")
 		tracePath    = fs.String("trace", "", "write the structured trace events as JSON to this file (\"-\" for stdout)")
@@ -185,7 +187,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		tr, err := explorer.ExploreTarget(ex, cfg, *target)
+		explore := explorer.ExploreTarget
+		if *directed {
+			explore = explorer.ExploreTargetDirected
+		}
+		tr, err := explore(ex, cfg, *target)
 		if err != nil {
 			return err
 		}
@@ -529,6 +535,28 @@ func printTargetResult(tr *explorer.TargetResult) {
 		for _, e := range p.Path {
 			fmt.Printf("    %s\n", e)
 		}
+	}
+	if len(tr.SitePlans) > 0 {
+		fmt.Println("lifted launcher-to-site routes:")
+		for i := range tr.SitePlans {
+			sp := &tr.SitePlans[i]
+			fmt.Printf("  %s in %s:\n", sp.Target.API, sp.Target.Class)
+			for _, r := range sp.Routes {
+				fmt.Printf("    route %s: %d ops (path cost %d)\n", r.Script.Name, len(r.Script.Ops), r.Path.Cost)
+			}
+			if !sp.Liftable() {
+				if b, ok := sp.Blocking(); ok {
+					fmt.Printf("    UNLIFTABLE: %s\n", b)
+				}
+			}
+		}
+		if tr.Seeded > 0 {
+			fmt.Printf("seeded %d routes before frontier exploration\n", tr.Seeded)
+		}
+	}
+	if tr.Skipped {
+		fmt.Println("SKIPPED: statically unreachable or every path unliftable — dynamic search not attempted")
+		return
 	}
 	if !tr.Triggered {
 		fmt.Printf("NOT TRIGGERED after %d test cases\n", tr.Result.TestCases)

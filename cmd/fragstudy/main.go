@@ -11,6 +11,8 @@
 //	fragstudy -baselines        # FragDroid vs Activity-level MBT vs Monkey
 //	fragstudy -compare explorer,monkey,biased  # the strategy bake-off
 //	fragstudy -ceiling          # static reachability ceiling vs dynamic visits
+//	fragstudy -directed         # gap classification + directed-vs-undirected study
+//	fragstudy -directed -directedjson BENCH_PR8.json  # + the JSON bench summary
 //	fragstudy -lint             # fraglint across the 217-app dataset
 //	fragstudy -table1 -metrics  # + the per-app session counter table
 //	fragstudy -table1 -trace t.json  # dump the structured event trace
@@ -33,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -69,6 +72,8 @@ func run(args []string) error {
 		stratSel = fs.String("strategy", "explorer", "exploration strategy driving the table evaluations (see internal/strategy)")
 		gap      = fs.Bool("gap", false, "run the static-vs-dynamic sensitive-site comparison")
 		ceiling  = fs.Bool("ceiling", false, "run the static reachability ceiling vs dynamic confirmation table")
+		directed = fs.Bool("directed", false, "run the directed-vs-undirected targeted study and the gap classification")
+		dirJSON  = fs.String("directedjson", "", "with -directed: also write the bench summary as JSON to this file")
 		lintRun  = fs.Bool("lint", false, "run fraglint across the dataset and print the summary")
 		metrics  = fs.Bool("metrics", false, "with -table1/-table2: also print the per-app run-metrics table")
 		snaps    = fs.String("snapshots", "on", "device snapshot memoization for evaluation runs: on, off, or a memo capacity")
@@ -151,6 +156,32 @@ func run(args []string) error {
 		}
 		if *metrics {
 			fmt.Println(report.RenderRunMetrics(ev))
+		}
+		return writeTrace(*trace, buf)
+	}
+	if *directed {
+		if cfg.Strategy != "explorer" {
+			return fmt.Errorf("-directed is explorer-only (got -strategy %s)", cfg.Strategy)
+		}
+		ev, err := report.RunEvaluation(cfg)
+		if err != nil {
+			return err
+		}
+		gc := ev.BuildGapClassification()
+		fmt.Println(report.RenderGapClassification(gc))
+		study, err := report.RunDirectedStudy(cfg, []int64{*seed, *seed + 1, *seed + 2})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RenderDirectedStudy(study))
+		if *dirJSON != "" {
+			data, err := json.MarshalIndent(report.BuildDirectedBench(study, gc), "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*dirJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
 		}
 		return writeTrace(*trace, buf)
 	}

@@ -43,7 +43,7 @@ const (
 	// here. A bump changes the fingerprint, every existing entry turns
 	// stale, and the next run rebuilds and overwrites.
 	appCodecVersion        = 1
-	extractionCodecVersion = 1
+	extractionCodecVersion = 2 // v2: callgraph edges carry a Ref operand
 
 	// snapshotCodecVersion versions the persistent device-snapshot payloads
 	// (device/codec.go plus the op-list framing in session/snapshot.go).

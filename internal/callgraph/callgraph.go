@@ -123,9 +123,17 @@ type Edge struct {
 	// Line is the smali source line of the originating statement, when the
 	// edge comes from one (0 for structural edges).
 	Line int
+	// Ref is the widget resource reference that actuates the edge, when one
+	// is statically known: the clicked widget for listener and xml-onclick
+	// edges, the host's fragment container for reflection edges. Path
+	// lowering (internal/paths) turns it into the concrete UI operation.
+	Ref string
 }
 
 func (e Edge) String() string {
+	if e.Ref != "" {
+		return fmt.Sprintf("%s -> %s (%s %s)", e.From, e.To, e.Reason, e.Ref)
+	}
 	return fmt.Sprintf("%s -> %s (%s)", e.From, e.To, e.Reason)
 }
 
@@ -133,6 +141,14 @@ func (e Edge) String() string {
 type apiSite struct {
 	api  string
 	line int
+}
+
+// Site is one sensitive-API invocation site, attributed to the method node
+// whose body contains it.
+type Site struct {
+	Node Node
+	API  string
+	Line int
 }
 
 // Graph is the whole-program call/transition graph of one application.
@@ -182,6 +198,18 @@ func (g *Graph) Edges() []Edge {
 // EdgesFrom returns the out-edges of a node.
 func (g *Graph) EdgesFrom(n Node) []Edge { return append([]Edge(nil), g.out[n]...) }
 
+// Sites returns every sensitive-API invocation site, in node insertion order
+// and statement order within a node — deterministic across builds.
+func (g *Graph) Sites() []Site {
+	var out []Site
+	for _, n := range g.order {
+		for _, s := range g.apis[n] {
+			out = append(out, Site{Node: n, API: s.api, Line: s.line})
+		}
+	}
+	return out
+}
+
 // Size reports node and edge counts.
 func (g *Graph) Size() (nodes, edges int) {
 	nodes = len(g.order)
@@ -198,15 +226,15 @@ func (g *Graph) addNode(n Node) {
 	}
 }
 
-func (g *Graph) addEdge(from, to Node, reason Reason, line int) {
+func (g *Graph) addEdge(from, to Node, reason Reason, line int, ref string) {
 	g.addNode(from)
 	g.addNode(to)
 	for _, e := range g.out[from] {
-		if e.To == to && e.Reason == reason {
+		if e.To == to && e.Reason == reason && e.Ref == ref {
 			return
 		}
 	}
-	g.out[from] = append(g.out[from], Edge{From: from, To: to, Reason: reason, Line: line})
+	g.out[from] = append(g.out[from], Edge{From: from, To: to, Reason: reason, Line: line, Ref: ref})
 }
 
 // lifecycle entry points per component kind, matching the device runtime.
@@ -216,15 +244,17 @@ var (
 	receiverLifecycle = []string{"onReceive"}
 )
 
-// outerComponent maps a class to the component class whose context its code
+// OuterComponent maps a class to the component class whose context its code
 // runs in: inner classes belong to their outer class, everything else to
 // itself.
-func outerComponent(class string) string {
+func OuterComponent(class string) string {
 	if i := strings.IndexByte(class, '$'); i > 0 {
 		return class[:i]
 	}
 	return class
 }
+
+func outerComponent(class string) string { return OuterComponent(class) }
 
 // resolveMethod finds the class that defines method, searching class and its
 // application-level superclass chain — the runtime's virtual dispatch.
@@ -267,17 +297,24 @@ func Build(app *apk.App, java *jdcore.Program) *Graph {
 	}
 	sort.Strings(g.receivers)
 
+	// components keeps the deterministic declaration order (sorted activities,
+	// then fragments, then receivers) — Build iterates it rather than the
+	// componentOf map so Edges/EdgesFrom order is stable across runs.
 	componentOf := make(map[string]Node) // class -> component node
+	var components []Node
 	for _, a := range g.activities {
 		componentOf[a] = ActivityNode(a)
+		components = append(components, ActivityNode(a))
 		g.addNode(ActivityNode(a))
 	}
 	for _, f := range g.fragments {
 		componentOf[f] = FragmentNode(f)
+		components = append(components, FragmentNode(f))
 		g.addNode(FragmentNode(f))
 	}
 	for _, r := range g.receivers {
 		componentOf[r] = ReceiverNode(r)
+		components = append(components, ReceiverNode(r))
 		g.addNode(ReceiverNode(r))
 	}
 
@@ -327,7 +364,7 @@ func Build(app *apk.App, java *jdcore.Program) *Graph {
 	addLifecycle := func(comp Node, methods []string) {
 		for _, m := range methods {
 			if def, ok := resolveMethod(prog, comp.Class, m); ok {
-				g.addEdge(comp, MethodNode(def, m), ReasonLifecycle, 0)
+				g.addEdge(comp, MethodNode(def, m), ReasonLifecycle, 0, "")
 			}
 		}
 	}
@@ -343,14 +380,14 @@ func Build(app *apk.App, java *jdcore.Program) *Graph {
 
 	// Component -> inner-class methods: inner classes only execute in their
 	// component's context, so their code is conservatively reachable with it.
-	for class, comp := range componentOf {
-		for _, cn := range prog.InnerClasses(class) {
+	for _, comp := range components {
+		for _, cn := range prog.InnerClasses(comp.Class) {
 			c := prog.Class(cn)
 			if c == nil {
 				continue
 			}
 			for _, m := range c.Methods {
-				g.addEdge(comp, MethodNode(cn, m.Name), ReasonInner, 0)
+				g.addEdge(comp, MethodNode(cn, m.Name), ReasonInner, 0, "")
 			}
 		}
 	}
@@ -358,7 +395,8 @@ func Build(app *apk.App, java *jdcore.Program) *Graph {
 	// Component -> XML onClick handlers: a widget's android:onClick binds to
 	// the class that inflates the layout it appears in (Algorithm 3's widget
 	// ownership), and static <fragment> declarations load their class.
-	for class, comp := range componentOf {
+	for _, comp := range components {
+		class := comp.Class
 		for _, ln := range layoutsOf[class] {
 			l := app.Layouts[ln]
 			if l == nil {
@@ -367,14 +405,14 @@ func Build(app *apk.App, java *jdcore.Program) *Graph {
 			l.Walk(func(w *layout.Widget) bool {
 				if w.OnClick != "" {
 					if def, ok := resolveMethod(prog, class, w.OnClick); ok {
-						g.addEdge(comp, MethodNode(def, w.OnClick), ReasonXMLOnClick, 0)
+						g.addEdge(comp, MethodNode(def, w.OnClick), ReasonXMLOnClick, 0, w.IDRef)
 					}
 				}
 				return true
 			})
 			for _, sf := range l.StaticFragments() {
 				if fc, ok := componentOf[sf]; ok && fc.Kind == KindFragment {
-					g.addEdge(comp, fc, ReasonStaticFragment, 0)
+					g.addEdge(comp, fc, ReasonStaticFragment, 0, "")
 				}
 			}
 		}
@@ -393,29 +431,30 @@ func Build(app *apk.App, java *jdcore.Program) *Graph {
 				switch st.Kind {
 				case jdcore.StmtNewIntentExplicit, jdcore.StmtSetClass:
 					if man.HasActivity(st.Class2) {
-						g.addEdge(from, ActivityNode(st.Class2), ReasonIntent, st.Line)
+						g.addEdge(from, ActivityNode(st.Class2), ReasonIntent, st.Line, "")
 					}
 				case jdcore.StmtNewIntentAction, jdcore.StmtSetAction:
 					if target, ok := man.ActivityForAction(st.Action); ok {
-						g.addEdge(from, ActivityNode(target), ReasonAction, st.Line)
+						g.addEdge(from, ActivityNode(target), ReasonAction, st.Line, "")
 					}
 				case jdcore.StmtTxnAdd, jdcore.StmtTxnReplace:
 					if fc, ok := componentOf[st.Class1]; ok && fc.Kind == KindFragment {
-						g.addEdge(from, fc, ReasonTransaction, st.Line)
+						g.addEdge(from, fc, ReasonTransaction, st.Line, "")
 					}
 				case jdcore.StmtInflateFragmentView:
 					if fc, ok := componentOf[st.Class1]; ok && fc.Kind == KindFragment {
-						g.addEdge(from, fc, ReasonInflate, st.Line)
+						g.addEdge(from, fc, ReasonInflate, st.Line, "")
 					}
 				case jdcore.StmtSendBroadcast:
 					for _, r := range man.ReceiversFor(st.Action) {
-						g.addEdge(from, ReceiverNode(r), ReasonBroadcast, st.Line)
+						g.addEdge(from, ReceiverNode(r), ReasonBroadcast, st.Line, "")
 					}
 				case jdcore.StmtSetClickListener:
 					// set-click-listener registers the handler on the component
-					// whose context executes the registration.
+					// whose context executes the registration; Ref carries the
+					// widget the registration targets.
 					if def, ok := resolveMethod(prog, owner, st.Ident); ok {
-						g.addEdge(from, MethodNode(def, st.Ident), ReasonListener, st.Line)
+						g.addEdge(from, MethodNode(def, st.Ident), ReasonListener, st.Line, st.Res)
 					}
 				case jdcore.StmtSensitiveCall:
 					g.apis[from] = append(g.apis[from], apiSite{api: st.API, line: st.Line})
@@ -431,12 +470,13 @@ func Build(app *apk.App, java *jdcore.Program) *Graph {
 		if !usesFM[a] {
 			continue
 		}
-		if !hasContainer(app, layoutsOf[a]) {
+		container, ok := firstContainer(app, layoutsOf[a])
+		if !ok {
 			continue
 		}
 		for _, f := range dependentFragments(prog, a, g.fragments) {
 			if txnCommitted[f] {
-				g.addEdge(ActivityNode(a), FragmentNode(f), ReasonReflection, 0)
+				g.addEdge(ActivityNode(a), FragmentNode(f), ReasonReflection, 0, container)
 			}
 		}
 	}
@@ -444,15 +484,17 @@ func Build(app *apk.App, java *jdcore.Program) *Graph {
 	return g
 }
 
-// hasContainer reports whether any of the layouts declares a fragment
-// container.
-func hasContainer(app *apk.App, layouts []string) bool {
+// firstContainer returns the first fragment-container ref declared by any of
+// the layouts, in layout then tree order.
+func firstContainer(app *apk.App, layouts []string) (string, bool) {
 	for _, ln := range layouts {
-		if l := app.Layouts[ln]; l != nil && len(l.Containers()) > 0 {
-			return true
+		if l := app.Layouts[ln]; l != nil {
+			if cs := l.Containers(); len(cs) > 0 {
+				return cs[0], true
+			}
 		}
 	}
-	return false
+	return "", false
 }
 
 // dependentFragments is Algorithm 2 in miniature: the fragment classes

@@ -218,3 +218,89 @@ func TestReachIsMonotone(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildDeterministic is the regression gate on edge ordering: building
+// the same app repeatedly must yield identical Edges(), EdgesFrom() and
+// encoded bytes. Build used to iterate component maps directly, which made
+// inner-class and xml-onclick edge order (and hence path enumeration and
+// cached artifacts) depend on map iteration order.
+func TestBuildDeterministic(t *testing.T) {
+	app := testApp(t)
+	ref := Build(app, nil)
+	refEdges := ref.Edges()
+	refBytes, err := ref.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		g := Build(app, nil)
+		edges := g.Edges()
+		if len(edges) != len(refEdges) {
+			t.Fatalf("build %d: %d edges, want %d", i, len(edges), len(refEdges))
+		}
+		for j := range edges {
+			if edges[j] != refEdges[j] {
+				t.Fatalf("build %d: edge %d = %s, want %s", i, j, edges[j], refEdges[j])
+			}
+		}
+		for _, n := range ref.Nodes() {
+			out, refOut := g.EdgesFrom(n), ref.EdgesFrom(n)
+			if len(out) != len(refOut) {
+				t.Fatalf("build %d: EdgesFrom(%s) = %d edges, want %d", i, n, len(out), len(refOut))
+			}
+			for j := range out {
+				if out[j] != refOut[j] {
+					t.Fatalf("build %d: EdgesFrom(%s)[%d] = %s, want %s", i, n, j, out[j], refOut[j])
+				}
+			}
+		}
+		b, err := g.Encode()
+		if err != nil {
+			t.Fatalf("build %d: Encode: %v", i, err)
+		}
+		if string(b) != string(refBytes) {
+			t.Fatalf("build %d: encoded bytes differ from reference", i)
+		}
+	}
+}
+
+// TestEdgeRefs pins the new Ref operand: listener and xml-onclick edges name
+// the actuating widget, reflection edges the host's container, and the codec
+// round-trips it.
+func TestEdgeRefs(t *testing.T) {
+	app := testApp(t)
+	g := Build(app, nil)
+	want := map[string]string{
+		"listener":    "@id/main_btn_next",
+		"xml-onclick": "@id/main_btn_x",
+		"reflection":  "@id/next_container",
+	}
+	got := make(map[string]string)
+	for _, e := range g.Edges() {
+		if e.Ref != "" {
+			got[string(e.Reason)] = e.Ref
+		}
+	}
+	for reason, ref := range want {
+		if got[reason] != ref {
+			t.Errorf("%s edge ref = %q, want %q", reason, got[reason], ref)
+		}
+	}
+	b, err := g.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := Decode(b, app.Program)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	de, ge := dec.Edges(), g.Edges()
+	if len(de) != len(ge) {
+		t.Fatalf("decoded %d edges, want %d", len(de), len(ge))
+	}
+	for i := range ge {
+		if de[i] != ge[i] {
+			t.Errorf("decoded edge %d = %s, want %s", i, de[i], ge[i])
+		}
+	}
+}

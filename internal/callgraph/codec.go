@@ -43,6 +43,7 @@ func (g *Graph) Encode() ([]byte, error) {
 			encodeNode(w, e.To)
 			w.Str(string(e.Reason))
 			w.Int(e.Line)
+			w.Str(e.Ref)
 		}
 	}
 	w.Int(nAPIs)
@@ -81,7 +82,7 @@ func Decode(data []byte, prog *smali.Program) (*Graph, error) {
 	}
 	nEdges := r.Int()
 	for i := 0; i < nEdges && r.Err() == nil; i++ {
-		e := Edge{From: decodeNode(r), To: decodeNode(r), Reason: Reason(r.Str()), Line: r.Int()}
+		e := Edge{From: decodeNode(r), To: decodeNode(r), Reason: Reason(r.Str()), Line: r.Int(), Ref: r.Str()}
 		if r.Err() != nil {
 			break
 		}

@@ -56,6 +56,13 @@ type Config struct {
 	// memoized device snapshots of executed prefixes instead of re-executing
 	// them from launch. Behavior is identical either way; nil disables.
 	Snapshots *session.SnapshotMemo
+	// Seeds are compiled route scripts (statically lifted UI paths from
+	// internal/paths) executed right after the launch test case and before
+	// frontier exploration. Each seed runs as one budgeted test case; its
+	// arrival feeds the normal evolutionary bookkeeping, so near-miss seeds
+	// still prime the queue (and their prefixes the snapshot memo). Empty
+	// leaves the run byte-identical to an unseeded one.
+	Seeds []robotium.Script
 	// Devices sets the in-process device fleet size. Values above 1 run
 	// Devices-1 warming devices alongside the main exploration loop: each
 	// newly enqueued interface is replayed and probe-expanded on a private
@@ -90,6 +97,9 @@ const (
 	ReachClick      ReachMethod = "click"
 	ReachReflection ReachMethod = "reflection"
 	ReachForced     ReachMethod = "forced-start"
+	// ReachSeed marks arrival via a statically compiled route seed
+	// (directed exploration).
+	ReachSeed ReachMethod = "seed"
 )
 
 // Visit records the first arrival at a node.
@@ -217,11 +227,14 @@ type engine struct {
 	round      int
 	progressed bool
 	launchRan  bool
+	// seedIdx is the next cfg.Seeds entry to propose (phaseSeeds).
+	seedIdx int
 }
 
 // Propose phases of the evolutionary loop.
 const (
 	phaseLaunch = iota
+	phaseSeeds
 	phaseDrain
 	phaseForced
 	phaseRoundEnd
@@ -451,9 +464,18 @@ func (e *engine) Propose() (session.TestCase, bool) {
 	for {
 		switch e.phase {
 		case phaseLaunch:
-			e.phase = phaseDrain
+			e.phase = phaseSeeds
 			e.round = 1
 			return session.TestCase{Script: e.launch, Purpose: session.PurposeLaunch}, true
+		case phaseSeeds:
+			// Directed seeding: replay the statically compiled routes before
+			// any frontier work; arrivals enter the normal queue discipline.
+			for e.launchRan && e.seedIdx < len(e.cfg.Seeds) && !e.s.Exhausted() {
+				sc := e.cfg.Seeds[e.seedIdx]
+				e.seedIdx++
+				return session.TestCase{Script: sc, Purpose: session.PurposeSeed}, true
+			}
+			e.phase = phaseDrain
 		case phaseDrain:
 			if !e.launchRan {
 				// The launch test case never executed (budget exhausted
@@ -501,9 +523,23 @@ func (e *engine) Propose() (session.TestCase, bool) {
 	}
 }
 
-// Observe handles the launch test case — the only script-form proposal the
-// explorer makes (interface exploration runs as self-driven units).
+// Observe handles the script-form proposals: the launch test case and the
+// directed route seeds (interface exploration runs as self-driven units).
 func (e *engine) Observe(tc session.TestCase, d *device.Device, res robotium.Result) error {
+	if tc.Purpose == session.PurposeSeed {
+		// A failed seed is a near miss, not an error: the frontier phases
+		// pick up from whatever prefix the replay established.
+		if res.Err != nil {
+			e.s.Notef("seed %s failed at %q: %v", tc.Script.Name, res.FailedOp, res.Err)
+			return nil
+		}
+		st, _, err := e.observe(d)
+		if err != nil {
+			return nil
+		}
+		e.arrive(st, ReachSeed, tc.Script)
+		return nil
+	}
 	e.launchRan = true
 	if res.Err != nil {
 		e.s.Notef("entry launch failed: %v", res.Err)

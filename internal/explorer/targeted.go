@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"fragdroid/internal/aftm"
+	"fragdroid/internal/paths"
+	"fragdroid/internal/robotium"
 	"fragdroid/internal/statics"
 )
 
@@ -47,9 +49,20 @@ type TargetResult struct {
 	Triggered bool
 	// Plans are the static sites and paths.
 	Plans []TargetPlan
+	// SitePlans are the path-level plans of the directed mode: per static
+	// (API, component) relation, the lifted routes and the blocked paths
+	// with their blocking edges. Nil on undirected runs.
+	SitePlans []paths.SitePlan
+	// Seeded counts the compiled route seeds fed to the engine.
+	Seeded int
+	// Skipped reports that the directed mode skipped the dynamic search
+	// because the target is statically unreachable or every static path is
+	// unliftable — reported as such rather than searched for.
+	Skipped bool
 	// Result is the (possibly early-halted) exploration behind the run. It
 	// is nil when the static phase found no site at all — SmartDroid-style
-	// targeting skips the dynamic phase entirely then.
+	// targeting skips the dynamic phase entirely then — or when the
+	// directed mode skipped the search.
 	Result *Result
 }
 
@@ -77,4 +90,56 @@ func ExploreTarget(ex *statics.Extraction, cfg Config, api string) (*TargetResul
 		Plans:     plans,
 		Result:    res,
 	}, nil
+}
+
+// ExploreTargetDirected is the path-guided flavour of ExploreTarget: the
+// paths pass enumerates launcher-to-site paths over the callgraph, lowers
+// them into robotium routes, and seeds the engine with them before frontier
+// exploration. A target whose every static path is unliftable (or that no
+// bounded path reaches) skips the dynamic search entirely and is reported as
+// such — the SitePlans carry the blocking edges.
+func ExploreTargetDirected(ex *statics.Extraction, cfg Config, api string) (*TargetResult, error) {
+	if api == "" {
+		return nil, fmt.Errorf("explorer: empty target API")
+	}
+	plans := PlanForAPI(ex, api)
+	p := paths.New(ex, paths.Config{
+		Inputs:       cfg.Inputs,
+		InputGen:     cfg.InputGen,
+		DefaultInput: cfg.DefaultInput,
+	})
+	sitePlans := p.PlanAPI(api)
+	if len(plans) == 0 && len(sitePlans) == 0 {
+		return &TargetResult{API: api}, nil
+	}
+	seeds := SeedScripts(sitePlans)
+	if len(seeds) == 0 {
+		return &TargetResult{API: api, Plans: plans, SitePlans: sitePlans, Skipped: true}, nil
+	}
+	cfg.Seeds = append(append([]robotium.Script(nil), cfg.Seeds...), seeds...)
+	cfg.haltOnAPI = api
+	res, err := ExploreExtracted(ex, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TargetResult{
+		API:       api,
+		Triggered: res.Collector.Has(api),
+		Plans:     plans,
+		SitePlans: sitePlans,
+		Seeded:    len(seeds),
+		Result:    res,
+	}, nil
+}
+
+// SeedScripts flattens site plans into the compiled route seeds, preserving
+// plan order (sorted owners) and cheapest-first routes within each plan.
+func SeedScripts(sps []paths.SitePlan) []robotium.Script {
+	var out []robotium.Script
+	for _, sp := range sps {
+		for _, r := range sp.Routes {
+			out = append(out, r.Script)
+		}
+	}
+	return out
 }

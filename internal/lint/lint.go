@@ -18,6 +18,7 @@
 //	FL010  statically reachable sensitive API without its manifest permission
 //	FL011  intent action that resolves to no declared activity
 //	FL012  send-broadcast no declared receiver subscribes to
+//	FL013  sensitive API no launcher-rooted UI path can actuate
 package lint
 
 import (
@@ -28,6 +29,7 @@ import (
 
 	"fragdroid/internal/apk"
 	"fragdroid/internal/layout"
+	"fragdroid/internal/paths"
 	"fragdroid/internal/sensitive"
 	"fragdroid/internal/smali"
 	"fragdroid/internal/statics"
@@ -95,7 +97,7 @@ type Diagnostic struct {
 	Method string `json:"method,omitempty"`
 	// Line is the smali source line (0 for structural findings).
 	Line int `json:"line,omitempty"`
-	// Code is the analyzer code (FL001..FL012).
+	// Code is the analyzer code (FL001..FL013).
 	Code     string   `json:"code"`
 	Severity Severity `json:"severity"`
 	Msg      string   `json:"msg"`
@@ -150,6 +152,7 @@ func Run(ex *statics.Extraction) []Diagnostic {
 	c.unreachableSensitive()
 	c.permissions()
 	c.actionsAndBroadcasts()
+	c.launcherBlockedSensitive()
 
 	sort.SliceStable(c.diags, func(i, j int) bool {
 		a, b := c.diags[i], c.diags[j]
@@ -606,4 +609,47 @@ func appendUnique(s []string, v string) []string {
 		}
 	}
 	return append(s, v)
+}
+
+// FL013: a sensitive site the static reach proves live, but that no
+// launcher-rooted UI path can actuate: either the launcher fixpoint never
+// reaches its component, or every enumerated launcher path contains an edge
+// the lowering cannot drive (an unbound click dispatch, a gated reflective
+// switch, receiver-only code). Either way, only forced starts can confirm the
+// site — the message names the blocking edge so the gap is actionable.
+func (c *ctx) launcherBlockedSensitive() {
+	p := paths.New(c.ex, paths.Config{LauncherOnly: true, DefaultInput: "x"})
+	apis := make([]string, 0, len(c.ex.StaticReach.APIs))
+	for api := range c.ex.StaticReach.APIs {
+		apis = append(apis, api)
+	}
+	sort.Strings(apis)
+	for _, api := range apis {
+		for _, owner := range c.ex.StaticReach.APIs[api] {
+			sp := p.PlanSite(api, owner)
+			if sp.Liftable() {
+				continue
+			}
+			class, method, line := launcherSiteOf(c.ex, api, owner)
+			reason := "no launcher path reaches it within the search bounds"
+			if b, ok := sp.Blocking(); ok && b.Cause != paths.CauseSearchBound {
+				reason = fmt.Sprintf("every launcher path is blocked (%s)", b)
+			}
+			c.report(class, method, line, "FL013", SeverityWarning,
+				"sensitive call %s in %s cannot be actuated from the launcher UI: %s; only forced starts can confirm it",
+				api, owner, reason)
+		}
+	}
+}
+
+// launcherSiteOf locates the first call-graph site of the (api, owner) relation
+// for diagnostic positioning; the owner component itself when no method site
+// matches (receiver relations attribute to the component).
+func launcherSiteOf(ex *statics.Extraction, api, owner string) (class, method string, line int) {
+	for _, s := range ex.Graph.Sites() {
+		if s.API == api && outerComponent(s.Node.Class) == owner {
+			return s.Node.Class, s.Node.Method, s.Line
+		}
+	}
+	return owner, "", 0
 }

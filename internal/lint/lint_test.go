@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"fragdroid/internal/apk"
@@ -519,4 +520,77 @@ func FuzzLint(f *testing.F) {
 			_ = d.String()
 		}
 	})
+}
+
+// FL013: two seeded gap defects. Iso's sensitive call sits in an activity no
+// launcher path reaches (forced starts only); Main$1's sits behind an
+// inner-class dispatch with no bound widget, so the launcher path exists but
+// cannot be actuated — the diagnostic names the blocking edge.
+func TestFL013LauncherBlockedSensitive(t *testing.T) {
+	man := mustBuild(t, manifest.NewBuilder("com.l13").
+		Launcher("com.l13.Main").
+		Activity("com.l13.Iso"))
+	classes := []*smali.Class{
+		{Name: "com.l13.Main", Super: smali.ClassActivity, Access: []string{"public"}, Methods: []*smali.Method{
+			method("onCreate", ins(smali.OpLog, "up")),
+		}},
+		{Name: "com.l13.Main$1", Super: smali.ClassObject, Access: []string{"public"}, Methods: []*smali.Method{
+			method("run", ins(smali.OpInvokeSensitive, "phone/getDeviceId")),
+		}},
+		// Iso transitions INTO Main (so it is effective, not isolated) but
+		// nothing on the launcher side ever starts it.
+		{Name: "com.l13.Iso", Super: smali.ClassActivity, Access: []string{"public"}, Methods: []*smali.Method{
+			method("onCreate",
+				ins(smali.OpInvokeSensitive, "location/getProviders"),
+				ins(smali.OpNewIntent, "com.l13.Iso", "com.l13.Main"),
+				ins(smali.OpStartActivity)),
+		}},
+	}
+	got := byCode(lintApp(t, man, nil, classes), "FL013")
+	if len(got) != 2 {
+		t.Fatalf("FL013 findings = %d, want 2: %v", len(got), got)
+	}
+	var sawIso, sawInner bool
+	for _, d := range got {
+		if d.Severity != lint.SeverityWarning {
+			t.Errorf("severity = %s, want warning", d.Severity)
+		}
+		switch d.Class {
+		case "com.l13.Iso":
+			sawIso = true
+			if !strings.Contains(d.Msg, "location/getProviders") {
+				t.Errorf("Iso finding does not name the API: %s", d.Msg)
+			}
+		case "com.l13.Main$1":
+			sawInner = true
+			if !strings.Contains(d.Msg, "inner") || !strings.Contains(d.Msg, "com.l13.Main$1") {
+				t.Errorf("inner finding does not name the blocking edge: %s", d.Msg)
+			}
+		default:
+			t.Errorf("unexpected FL013 position %s: %s", d.Class, d.Msg)
+		}
+	}
+	if !sawIso || !sawInner {
+		t.Errorf("missing expected findings (iso=%v inner=%v): %v", sawIso, sawInner, got)
+	}
+
+	// A launcher-clickable site stays clean: the same API behind a bound
+	// listener produces no FL013.
+	cleanMan := mustBuild(t, manifest.NewBuilder("com.l13b").Launcher("com.l13b.Main"))
+	cleanLayouts := []*layout.Layout{
+		mustLayout(t, layout.Root(layout.TypeLinearLayout).ID("@id/root").
+			Child(layout.Root(layout.TypeButton).ID("@id/btn_go").Text("go")),
+			"activity_main"),
+	}
+	cleanClasses := []*smali.Class{
+		{Name: "com.l13b.Main", Super: smali.ClassActivity, Access: []string{"public"}, Methods: []*smali.Method{
+			method("onCreate",
+				ins(smali.OpSetContentView, "@layout/activity_main"),
+				ins(smali.OpSetClickListener, "@id/btn_go", "onGo")),
+			method("onGo", ins(smali.OpInvokeSensitive, "phone/getDeviceId")),
+		}},
+	}
+	if got := byCode(lintApp(t, cleanMan, cleanLayouts, cleanClasses), "FL013"); len(got) != 0 {
+		t.Errorf("clean app produced FL013: %v", got)
+	}
 }

@@ -1,0 +1,209 @@
+package paths
+
+import (
+	"fmt"
+	"strings"
+
+	"fragdroid/internal/callgraph"
+	"fragdroid/internal/robotium"
+	"fragdroid/internal/smali"
+)
+
+// Cause labels why a path could not be lowered.
+type Cause string
+
+// Blocking causes.
+const (
+	// CauseNoBoundWidget: the edge is a click dispatch (listener registration
+	// or inner-class over-approximation) with no statically bound widget to
+	// click.
+	CauseNoBoundWidget Cause = "no-bound-widget"
+	// CauseReceiverOnly: the code only runs in a BroadcastReceiver's context,
+	// which has no UI to drive.
+	CauseReceiverOnly Cause = "receiver-only"
+	// CauseReflectionGated: the reflective fragment switch is statically
+	// known to fail (the fragment's newInstance requires parameters).
+	CauseReflectionGated Cause = "reflection-gated"
+	// CauseSearchBound: the bounded enumeration found no path at all within
+	// its limits, so nothing could be lowered.
+	CauseSearchBound Cause = "search-bounds"
+)
+
+// Route is a lifted path: a robotium script that replays it end to end.
+type Route struct {
+	Target Target
+	Path   Path
+	Script robotium.Script
+	// UIOps counts the script's operations — the explicit driving work the
+	// route costs (launch/forced start, fills, clicks, dismissals, reflective
+	// switches).
+	UIOps int
+}
+
+// Unliftable is a path whose lowering failed, with the blocking edge.
+type Unliftable struct {
+	Target Target
+	Path   Path
+	// Edge is the blocking edge (zero value for CauseSearchBound).
+	Edge  callgraph.Edge
+	Cause Cause
+}
+
+func (u Unliftable) String() string {
+	if u.Cause == CauseSearchBound {
+		return string(u.Cause)
+	}
+	return fmt.Sprintf("%s at %s", u.Cause, u.Edge)
+}
+
+// Lower compiles one enumerated path into a robotium route. The second
+// return carries the blocking edge when the path cannot be actuated.
+//
+// The lowering rules, per edge Reason (DESIGN §4.13):
+//
+//   - lifecycle, intent, action, transaction, inflate, static-fragment,
+//     broadcast: automatic — the edge fires when its source component or
+//     method executes, so no operation is emitted.
+//   - xml-onclick, listener: click the bound widget (Edge.Ref); an edge with
+//     no bound widget blocks the path. Require-input gates in the handler
+//     body are filled beforehand with the explorer's input resolution.
+//   - reflection: the §VI-A reflective switch of the fragment into the
+//     host's container (Edge.Ref); blocked when the fragment's constructor
+//     needs arguments the switch cannot supply.
+//   - inner: blocked — the inner-class over-approximation names no widget
+//     (receiver-only when the context is a BroadcastReceiver).
+//
+// The root lowers to the launch (launcher root) or a forced empty-Intent
+// start (any other effective activity). A handler that leaves a modal dialog
+// up gets an explicit dismissal before the next click, so routes stay valid
+// without the session's auto-dismiss.
+func (p *Planner) Lower(t Target, path Path, name string) (Route, *Unliftable) {
+	var ops []robotium.Op
+	if path.Forced {
+		ops = append(ops, robotium.ForceStart(path.Root.Class))
+	} else {
+		ops = append(ops, robotium.LaunchMain())
+	}
+	dialogUp := false
+	dismiss := func() {
+		if dialogUp {
+			ops = append(ops, robotium.DismissDialog())
+			dialogUp = false
+		}
+	}
+	for _, e := range path.Edges {
+		switch e.Reason {
+		case callgraph.ReasonLifecycle, callgraph.ReasonIntent, callgraph.ReasonAction,
+			callgraph.ReasonTransaction, callgraph.ReasonInflate,
+			callgraph.ReasonStaticFragment, callgraph.ReasonBroadcast:
+			// Automatic: executing the source triggers the transition.
+		case callgraph.ReasonXMLOnClick, callgraph.ReasonListener:
+			if e.Ref == "" {
+				return Route{}, &Unliftable{Target: t, Path: path, Edge: e, Cause: CauseNoBoundWidget}
+			}
+			dismiss()
+			ops = append(ops, p.fillsFor(e.To)...)
+			ops = append(ops, robotium.Click(e.Ref))
+			dialogUp = p.leavesDialog(e.To)
+		case callgraph.ReasonReflection:
+			frag := e.To.Class
+			if c := p.ex.App.Program.Class(frag); c == nil || c.RequiresArgs {
+				return Route{}, &Unliftable{Target: t, Path: path, Edge: e, Cause: CauseReflectionGated}
+			}
+			dismiss()
+			ops = append(ops, robotium.Reflect(frag, e.Ref))
+		case callgraph.ReasonInner:
+			cause := CauseNoBoundWidget
+			if e.From.Kind == callgraph.KindReceiver {
+				cause = CauseReceiverOnly
+			}
+			return Route{}, &Unliftable{Target: t, Path: path, Edge: e, Cause: cause}
+		default:
+			return Route{}, &Unliftable{Target: t, Path: path, Edge: e, Cause: CauseNoBoundWidget}
+		}
+	}
+	return Route{
+		Target: t,
+		Path:   path,
+		Script: robotium.Script{Name: name, Ops: ops},
+		UIOps:  len(ops),
+	}, nil
+}
+
+// fillsFor renders the input fills a handler method's require-input gates
+// need, resolved like the explorer fills interfaces: the analyst input file,
+// then the generator keyed on the widget's hint, then the default filler.
+func (p *Planner) fillsFor(m callgraph.Node) []robotium.Op {
+	var ops []robotium.Op
+	for _, ins := range p.methodBody(m) {
+		if ins.Op != smali.OpRequireInput {
+			continue
+		}
+		ref := ins.Args[0]
+		if val := p.inputValue(ref); val != "" {
+			ops = append(ops, robotium.EnterText(ref, val))
+		}
+	}
+	return ops
+}
+
+// inputValue mirrors explorer.(*engine).inputValue.
+func (p *Planner) inputValue(ref string) string {
+	if val, ok := p.cfg.Inputs[ref]; ok && val != "" {
+		return val
+	}
+	if p.cfg.InputGen != nil {
+		if val, ok := p.cfg.InputGen.Generate(ref, p.hints[ref]); ok {
+			return val
+		}
+	}
+	return p.cfg.DefaultInput
+}
+
+// leavesDialog reports whether executing the handler leaves a modal dialog
+// or popup on the resulting top screen: a show op with no later activity
+// start or finish (which would change the top) in the straight-line body.
+func (p *Planner) leavesDialog(m callgraph.Node) bool {
+	up := false
+	for _, ins := range p.methodBody(m) {
+		switch ins.Op {
+		case smali.OpShowDialog, smali.OpShowPopup:
+			up = true
+		case smali.OpStartActivity, smali.OpFinish:
+			up = false
+		}
+	}
+	return up
+}
+
+// methodBody returns the smali body of a method node (nil when unknown).
+func (p *Planner) methodBody(m callgraph.Node) []smali.Instr {
+	if m.Kind != callgraph.KindMethod {
+		return nil
+	}
+	c := p.ex.App.Program.Class(m.Class)
+	if c == nil {
+		return nil
+	}
+	md := c.Method(m.Method)
+	if md == nil {
+		return nil
+	}
+	return md.Body
+}
+
+// routeName builds a deterministic script name for a lowered route.
+func routeName(t Target, idx int) string {
+	base := t.Class
+	if i := strings.LastIndexByte(base, '.'); i >= 0 {
+		base = base[i+1:]
+	}
+	if t.API != "" {
+		api := t.API
+		if i := strings.LastIndexByte(api, '/'); i >= 0 {
+			api = api[i+1:]
+		}
+		return fmt.Sprintf("path_%s_%s_%d", api, base, idx)
+	}
+	return fmt.Sprintf("path_%s_%d", base, idx)
+}

@@ -259,7 +259,7 @@ func (s *Session) RunOn(d *device.Device, sc robotium.Script, p Purpose) (roboti
 	}
 	s.stats.TestCases++
 	switch p {
-	case PurposeReplay:
+	case PurposeReplay, PurposeSeed:
 		s.stats.Replays++
 	case PurposeReflection:
 		s.stats.ReflectionAttempts++

@@ -46,6 +46,8 @@ const (
 	PurposeReflection  Purpose = "reflection"
 	PurposeForcedStart Purpose = "forced-start"
 	PurposeProbe       Purpose = "probe"
+	// PurposeSeed is a statically compiled route seed (directed exploration).
+	PurposeSeed Purpose = "seed"
 )
 
 // Event is one typed trace record. Msg, when non-empty, is the human

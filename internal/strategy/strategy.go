@@ -65,7 +65,7 @@ type Options struct {
 
 // Names lists the registered strategies in canonical comparison order.
 func Names() []string {
-	return []string{"explorer", "activity", "monkey", "biased", "model", "trace"}
+	return []string{"explorer", "activity", "monkey", "biased", "model", "trace", "directed"}
 }
 
 // Known reports whether name is a registered strategy.
@@ -149,6 +149,8 @@ func Run(name string, ex *statics.Extraction, opts Options) (*session.Outcome, e
 		return session.Drive(ex.App, NewModelGuided(ex, opts), h)
 	case "trace":
 		return session.Drive(ex.App, NewTraceReuse(ex, opts), h)
+	case "directed":
+		return session.Drive(ex.App, NewDirected(ex, opts), h)
 	default:
 		return nil, fmt.Errorf("strategy: unknown strategy %q (known: %s)", name, strings.Join(Names(), ", "))
 	}
