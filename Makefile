@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_STAMP := $(shell date -u +%Y%m%dT%H%M%SZ)
 
-.PHONY: build test race vet lint bench bench-json compare-smoke directed-smoke
+.PHONY: build test race vet lint bench bench-json bench-diff compare-smoke directed-smoke
 
 build:
 	$(GO) build ./...
@@ -45,9 +45,20 @@ bench:
 # two- and four-device fleets (≈1.0 on a single-core host: the fleet trades
 # idle cores for warm snapshots; host_cpus records GOMAXPROCS for reading
 # the curve). BENCHTIME trades accuracy for time (CI uses a short count as a
-# smoke signal; the checked-in BENCH_PR6.json comes from BENCHTIME=30x).
+# smoke signal; the checked-in BENCH_PR9.json comes from BENCHTIME=30x).
 BENCHTIME ?= 10x
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR9.json
+
+# bench-diff compares two bench-json records benchmark by benchmark:
+# per-benchmark ns/op, B/op and allocs/op deltas plus both records' derived
+# ratios. Defaults compare the current perf record against the previous one
+# (BENCH_PR6.json, the last PR whose record used this schema); CI reuses the
+# script with a --min-ratio floor as a parity gate on smoke runs.
+BENCH_DIFF_OLD ?= BENCH_PR6.json
+BENCH_DIFF_NEW ?= $(BENCH_JSON)
+
+bench-diff:
+	python3 scripts/bench_diff.py $(BENCH_DIFF_OLD) $(BENCH_DIFF_NEW)
 
 # compare-smoke runs the strategy bake-off — every registered strategy over
 # the 15-app corpus, COMPARE_SEEDS seeds, COMPARE_BUDGET test cases/events

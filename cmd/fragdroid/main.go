@@ -30,6 +30,7 @@ import (
 	"fragdroid/internal/apk"
 	"fragdroid/internal/artifact"
 	"fragdroid/internal/corpus"
+	"fragdroid/internal/device"
 	"fragdroid/internal/explorer"
 	"fragdroid/internal/jdcore"
 	"fragdroid/internal/report"
@@ -73,8 +74,12 @@ func run(args []string) error {
 		cacheDir     = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
 		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf      = fs.String("memprofile", "", "write a heap profile to this file after the run")
+		interp       = fs.String("interp", device.DefaultInterp(), "interpreter backend for app code: ir (precompiled instruction programs) or classic (tree-walking smali)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := device.SetDefaultInterp(*interp); err != nil {
 		return err
 	}
 	dir, err := artifact.ResolveDir(*cacheDir)

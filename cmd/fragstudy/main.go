@@ -45,6 +45,7 @@ import (
 	"strings"
 
 	"fragdroid/internal/artifact"
+	"fragdroid/internal/device"
 	"fragdroid/internal/report"
 	"fragdroid/internal/session"
 	"fragdroid/internal/strategy"
@@ -82,12 +83,16 @@ func run(args []string) error {
 		cacheDir = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file after the run")
+		interp   = fs.String("interp", device.DefaultInterp(), "interpreter backend for app code: ir (precompiled instruction programs) or classic (tree-walking smali)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
+	}
+	if err := device.SetDefaultInterp(*interp); err != nil {
+		return err
 	}
 	cache, err := openCache(*cacheDir)
 	if err != nil {

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fragdroid/internal/device"
 )
 
 // TestMain points the default "auto" store at a throwaway directory so tests
@@ -130,5 +132,47 @@ func TestRunDevicesFlag(t *testing.T) {
 	}
 	if err := run([]string{"-devices", "0"}); err == nil {
 		t.Error("-devices 0: want error")
+	}
+}
+
+// TestRunProfileFlags drives a study run with -cpuprofile and -memprofile and
+// checks that both profiles land on disk as non-empty files — the recipe
+// DESIGN.md documents for finding warm-path regressions.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	if err := run([]string{"-table1", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatalf("run -table1 with profiles: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if err := run([]string{"-cpuprofile", filepath.Join(dir, "no", "such", "dir", "x.prof")}); err == nil {
+		t.Error("unwritable -cpuprofile path: want error")
+	}
+}
+
+// TestRunInterpFlag pins the -interp contract: both backends run the study,
+// and an unknown backend is rejected at the flag boundary. The default is
+// restored afterwards so test order does not leak interpreter state.
+func TestRunInterpFlag(t *testing.T) {
+	defer device.SetDefaultInterp("ir")
+	for _, mode := range []string{"ir", "classic"} {
+		if err := run([]string{"-interp", mode}); err != nil {
+			t.Fatalf("run -interp %s: %v", mode, err)
+		}
+		if got := device.DefaultInterp(); got != mode {
+			t.Fatalf("DefaultInterp after -interp %s = %s", mode, got)
+		}
+	}
+	if err := run([]string{"-interp", "jit"}); err == nil {
+		t.Error("-interp jit: want error")
 	}
 }

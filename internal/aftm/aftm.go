@@ -118,7 +118,14 @@ type Model struct {
 	nodes    map[Node]bool
 	visited  map[Node]bool
 	edges    map[edgeKey]*Edge
-	outAdj   map[Node][]Node
+	// outAdj holds each node's outgoing edges pre-sorted by (To.Kind,
+	// To.Name) — the same order sorting by To.String() produces, since the
+	// kind prefix ("A:" < "F:") agrees with KindActivity < KindFragment and
+	// a node never has two edges to the same target. The slices share *Edge
+	// pointers with m.edges so Via upgrades stay visible. Keeping the order
+	// an insertion invariant makes EdgesFrom, BFS and PathTo sort-free;
+	// per-call sorting here dominated the warm exploration profile.
+	outAdj map[Node][]*Edge
 }
 
 // New returns an empty model.
@@ -127,7 +134,7 @@ func New() *Model {
 		nodes:   make(map[Node]bool),
 		visited: make(map[Node]bool),
 		edges:   make(map[edgeKey]*Edge),
-		outAdj:  make(map[Node][]Node),
+		outAdj:  make(map[Node][]*Edge),
 	}
 }
 
@@ -196,8 +203,19 @@ func (m *Model) AddEdge(from, to Node, via string) (bool, error) {
 		}
 		return false, nil
 	}
-	m.edges[k] = &Edge{Kind: kind, From: from, To: to, Via: via}
-	m.outAdj[from] = append(m.outAdj[from], to)
+	e := &Edge{Kind: kind, From: from, To: to, Via: via}
+	m.edges[k] = e
+	adj := m.outAdj[from]
+	i := sort.Search(len(adj), func(i int) bool {
+		if adj[i].To.Kind != to.Kind {
+			return adj[i].To.Kind > to.Kind
+		}
+		return adj[i].To.Name > to.Name
+	})
+	adj = append(adj, nil)
+	copy(adj[i+1:], adj[i:])
+	adj[i] = e
+	m.outAdj[from] = adj
 	return true, nil
 }
 
@@ -368,15 +386,17 @@ func (m *Model) Edges() []Edge {
 	return out
 }
 
-// EdgesFrom returns the edges leaving n, sorted by target.
+// EdgesFrom returns the edges leaving n, sorted by target. The adjacency
+// list is kept in that order by AddEdge, so this is a copy, not a sort.
 func (m *Model) EdgesFrom(n Node) []Edge {
-	var out []Edge
-	for _, e := range m.edges {
-		if e.From == n {
-			out = append(out, *e)
-		}
+	adj := m.outAdj[n]
+	if len(adj) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].To.String() < out[j].To.String() })
+	out := make([]Edge, len(adj))
+	for i, e := range adj {
+		out[i] = *e
+	}
 	return out
 }
 
@@ -475,7 +495,7 @@ func (m *Model) BFS() []Node {
 		n := queue[0]
 		queue = queue[1:]
 		order = append(order, n)
-		for _, e := range m.EdgesFrom(n) {
+		for _, e := range m.outAdj[n] {
 			if !seen[e.To] {
 				seen[e.To] = true
 				queue = append(queue, e.To)
@@ -483,6 +503,44 @@ func (m *Model) BFS() []Node {
 		}
 	}
 	return order
+}
+
+// Paths computes the breadth-first order and, for every reachable node, the
+// shortest edge path from the entry — one traversal instead of one PathTo
+// per node. The returned order is exactly BFS(), and each path is exactly
+// what PathTo would return for that node: both walk the same sorted
+// adjacency, so the discovery tree is identical; PathTo merely stops early.
+// The entry maps to an empty, non-nil path.
+func (m *Model) Paths() ([]Node, map[Node][]Edge) {
+	if !m.hasEntry {
+		return nil, nil
+	}
+	prev := make(map[Node]Edge)
+	seen := map[Node]bool{m.entry: true}
+	order := []Node{m.entry}
+	for i := 0; i < len(order); i++ {
+		n := order[i]
+		for _, e := range m.outAdj[n] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				prev[e.To] = *e
+				order = append(order, e.To)
+			}
+		}
+	}
+	pathOf := make(map[Node][]Edge, len(order))
+	pathOf[m.entry] = []Edge{}
+	// Nodes appear in order after their predecessors, so each path extends an
+	// already-built one by a single edge.
+	for _, n := range order[1:] {
+		e := prev[n]
+		base := pathOf[e.From]
+		path := make([]Edge, len(base)+1)
+		copy(path, base)
+		path[len(base)] = e
+		pathOf[n] = path
+	}
+	return order, pathOf
 }
 
 // PathTo returns a shortest edge path from the entry to target, or nil if
@@ -500,12 +558,12 @@ func (m *Model) PathTo(target Node) []Edge {
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
-		for _, e := range m.EdgesFrom(n) {
+		for _, e := range m.outAdj[n] {
 			if seen[e.To] {
 				continue
 			}
 			seen[e.To] = true
-			prev[e.To] = e
+			prev[e.To] = *e
 			if e.To == target {
 				return rebuild(prev, m.entry, target)
 			}
@@ -586,7 +644,13 @@ func (m *Model) Clone() *Model {
 		nm.edges[k] = &cp
 	}
 	for n, adj := range m.outAdj {
-		nm.outAdj[n] = append([]Node(nil), adj...)
+		nadj := make([]*Edge, len(adj))
+		for i, e := range adj {
+			// Point at the clone's own Edge so later Via upgrades on the
+			// clone stay confined to it; order carries over unchanged.
+			nadj[i] = nm.edges[edgeKey{kind: e.Kind, from: e.From, to: e.To}]
+		}
+		nm.outAdj[n] = nadj
 	}
 	return nm
 }

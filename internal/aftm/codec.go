@@ -1,0 +1,120 @@
+package aftm
+
+import (
+	"fmt"
+
+	"fragdroid/internal/binc"
+)
+
+// bincModelVersion versions the binc model payload embedded in extraction
+// artifacts.
+const bincModelVersion = 1
+
+// EncodeModel renders the model in binc form — the same information as the
+// JSON form (kept for human-facing exports), but decoded on every warm
+// artifact load, so it is built for decode speed: class names are interned
+// once in the string table and kinds are varints, with no reflection on
+// either side. The output is deterministic.
+func EncodeModel(m *Model) []byte {
+	w := binc.NewWriter()
+	w.Int(bincModelVersion)
+	entry := ""
+	if e, ok := m.Entry(); ok {
+		entry = e.Name
+	}
+	w.Str(entry)
+	nodes := m.Nodes()
+	w.Int(len(nodes))
+	for _, n := range nodes {
+		w.Int(int(n.Kind))
+		w.Str(n.Name)
+		w.Bool(m.Visited(n))
+	}
+	edges := m.Edges()
+	w.Int(len(edges))
+	for _, e := range edges {
+		// From/To kinds are implied by the edge kind (E1: A→A, E2: A→F,
+		// E3: F→F) and cross-checked against the node table on decode.
+		w.Int(int(e.Kind))
+		w.Str(e.From.Name)
+		w.Str(e.To.Name)
+		w.Str(e.Via)
+	}
+	return w.Bytes()
+}
+
+// DecodeModel reconstructs a model from its binc form, applying the same
+// validation as the JSON decoder: node kinds must be well-formed, edge
+// endpoints must be declared, and the serialized edge kind must match the
+// kind the endpoints derive.
+func DecodeModel(data []byte) (*Model, error) {
+	r, err := binc.NewReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("aftm: decode: %w", err)
+	}
+	if v := r.Int(); v != bincModelVersion {
+		if r.Err() != nil {
+			return nil, fmt.Errorf("aftm: decode: %w", r.Err())
+		}
+		return nil, fmt.Errorf("aftm: unsupported model version %d", v)
+	}
+	entry := r.Str()
+	m := New()
+	kinds := make(map[string]NodeKind)
+	nNodes := r.Int()
+	for i := 0; i < nNodes && r.Err() == nil; i++ {
+		k := NodeKind(r.Int())
+		name := r.Str()
+		visited := r.Bool()
+		if k != KindActivity && k != KindFragment {
+			return nil, fmt.Errorf("aftm: unknown node kind %d", int(k))
+		}
+		if prev, dup := kinds[name]; dup && prev != k {
+			return nil, fmt.Errorf("aftm: node %q declared with two kinds", name)
+		}
+		kinds[name] = k
+		n := Node{Kind: k, Name: name}
+		m.AddNode(n)
+		if visited {
+			m.Visit(n)
+		}
+	}
+	nEdges := r.Int()
+	for i := 0; i < nEdges && r.Err() == nil; i++ {
+		ek := EdgeKind(r.Int())
+		from := r.Str()
+		to := r.Str()
+		via := r.Str()
+		fk, ok := kinds[from]
+		if !ok {
+			return nil, fmt.Errorf("aftm: edge from undeclared node %q", from)
+		}
+		tk, ok := kinds[to]
+		if !ok {
+			return nil, fmt.Errorf("aftm: edge to undeclared node %q", to)
+		}
+		if _, err := m.AddEdge(Node{Kind: fk, Name: from}, Node{Kind: tk, Name: to}, via); err != nil {
+			return nil, err
+		}
+		if e, ok := m.EdgeBetween(Node{Kind: fk, Name: from}, Node{Kind: tk, Name: to}); ok && e.Kind != ek {
+			return nil, fmt.Errorf("aftm: edge %s->%s declared %s, derived %s",
+				from, to, ek, e.Kind)
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("aftm: decode: %w", r.Err())
+	}
+	if entry != "" {
+		k, ok := kinds[entry]
+		if !ok || k != KindActivity {
+			return nil, fmt.Errorf("aftm: entry %q is not a declared activity", entry)
+		}
+		if err := m.SetEntry(ActivityNode(entry)); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("aftm: decode: %w", err)
+	}
+	return m, nil
+}

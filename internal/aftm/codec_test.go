@@ -1,0 +1,79 @@
+package aftm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestModelBincRoundTrip pins the binc model codec against the model's
+// public surface: nodes, visited marks, edges (with Via labels), and the
+// entry survive a round trip, and traversals over the decoded model match
+// the original exactly.
+func TestModelBincRoundTrip(t *testing.T) {
+	m := New()
+	if err := m.SetEntry(ActivityNode("com.app.Main")); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd := func(from, to Node, via string) {
+		t.Helper()
+		if _, err := m.AddEdge(from, to, via); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(ActivityNode("com.app.Main"), ActivityNode("com.app.Detail"), ViaIntent)
+	mustAdd(ActivityNode("com.app.Main"), FragmentNode("com.app.TabF"), ViaClick("@id/tab"))
+	mustAdd(FragmentNode("com.app.TabF"), FragmentNode("com.app.ListF"), ViaTransaction)
+	mustAdd(ActivityNode("com.app.Detail"), FragmentNode("com.app.ListF"), ViaReflection)
+	m.AddNode(ActivityNode("com.app.Isolated"))
+	m.Visit(ActivityNode("com.app.Main"))
+	m.Visit(FragmentNode("com.app.TabF"))
+
+	got, err := DecodeModel(EncodeModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Nodes(), m.Nodes()) {
+		t.Errorf("nodes diverge:\n got %v\nwant %v", got.Nodes(), m.Nodes())
+	}
+	if !reflect.DeepEqual(got.Edges(), m.Edges()) {
+		t.Errorf("edges diverge:\n got %v\nwant %v", got.Edges(), m.Edges())
+	}
+	for _, n := range m.Nodes() {
+		if got.Visited(n) != m.Visited(n) {
+			t.Errorf("visited(%s) = %v, want %v", n, got.Visited(n), m.Visited(n))
+		}
+	}
+	ge, gok := got.Entry()
+	we, wok := m.Entry()
+	if gok != wok || ge != we {
+		t.Errorf("entry = %v,%v, want %v,%v", ge, gok, we, wok)
+	}
+	if !reflect.DeepEqual(got.BFS(), m.BFS()) {
+		t.Errorf("BFS order diverges:\n got %v\nwant %v", got.BFS(), m.BFS())
+	}
+}
+
+// TestDecodeModelRejectsCorruption truncates and mutates a valid payload:
+// the decoder must error, never panic, and must reject version and kind
+// mismatches explicitly.
+func TestDecodeModelRejectsCorruption(t *testing.T) {
+	m := New()
+	if err := m.SetEntry(ActivityNode("a.Main")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddEdge(ActivityNode("a.Main"), FragmentNode("a.F"), ViaTransaction); err != nil {
+		t.Fatal(err)
+	}
+	valid := EncodeModel(m)
+	if _, err := DecodeModel(valid); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeModel(valid[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeModel([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("garbage payload accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"fragdroid/internal/layout"
 	"fragdroid/internal/manifest"
@@ -37,7 +38,19 @@ type App struct {
 	Program *smali.Program
 	// Resources is the app's resource-ID table, populated from all layouts.
 	Resources *res.Table
+
+	// irState is an opaque, atomically-swapped slot owned by internal/ir
+	// (kept untyped here to avoid an import cycle): it carries the app's
+	// parked compiled-program source and, once resolved, the program itself.
+	// Living on the App ties the registry's lifetime to the app — a
+	// process-global map keyed by app pointer would pin every app ever
+	// loaded, a real leak for long-lived static-only consumers.
+	irState atomic.Value
 }
+
+// IRState exposes the compiled-program slot to internal/ir. Other packages
+// must not touch it.
+func (a *App) IRState() *atomic.Value { return &a.irState }
 
 // Load decodes an archive into an App. Packed archives yield ErrPacked.
 func Load(a *Archive) (*App, error) {

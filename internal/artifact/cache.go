@@ -23,6 +23,7 @@ import (
 
 	"fragdroid/internal/apk"
 	"fragdroid/internal/corpus"
+	"fragdroid/internal/ir"
 	"fragdroid/internal/statics"
 )
 
@@ -35,7 +36,10 @@ import (
 // this encoding does not know about). A hand-rolled encoding instead of
 // encoding/json keeps the per-lookup cost off the warm path's profile.
 func Key(spec *corpus.AppSpec) string {
-	sum := sha256.Sum256(appendKeySpec(nil, spec))
+	// Pre-sized well above the largest corpus spec encoding, so the append
+	// chain below runs without a single growslice in the common case.
+	b := make([]byte, 0, 8192)
+	sum := sha256.Sum256(appendKeySpec(b, spec))
 	return spec.Package + "#" + hex.EncodeToString(sum[:12])
 }
 
@@ -152,6 +156,13 @@ type Cache struct {
 	diskMisses atomic.Uint64
 	diskWrites atomic.Uint64
 	diskErrors atomic.Uint64
+
+	// The compiled-program layer has its own counters: a warm run that skips
+	// method compilation entirely is a distinct observable from app/extraction
+	// disk traffic.
+	irHits   atomic.Uint64
+	irMisses atomic.Uint64
+	irWrites atomic.Uint64
 }
 
 // NewCache returns an empty in-memory cache.
@@ -212,6 +223,11 @@ type Stats struct {
 	// written back; DiskErrors counts failed write-backs (the computed
 	// artifact is still served from memory).
 	DiskHits, DiskMisses, DiskWrites, DiskErrors uint64
+	// IRHits counts compiled instruction programs decoded from disk (the warm
+	// run skipped method compilation); IRMisses counts programs compiled in
+	// process; IRWrites counts programs written back. All zero without a
+	// persistent store — in-memory reuse is handled by ir's own registry.
+	IRHits, IRMisses, IRWrites uint64
 }
 
 // Stats returns the current counter values.
@@ -225,6 +241,9 @@ func (c *Cache) Stats() Stats {
 		DiskMisses:  c.diskMisses.Load(),
 		DiskWrites:  c.diskWrites.Load(),
 		DiskErrors:  c.diskErrors.Load(),
+		IRHits:      c.irHits.Load(),
+		IRMisses:    c.irMisses.Load(),
+		IRWrites:    c.irWrites.Load(),
 	}
 }
 
@@ -244,6 +263,9 @@ func (c *Cache) Reset() {
 	c.diskMisses.Store(0)
 	c.diskWrites.Store(0)
 	c.diskErrors.Store(0)
+	c.irHits.Store(0)
+	c.irMisses.Store(0)
+	c.irWrites.Store(0)
 }
 
 // App payload framing: one tag byte ahead of the codec bytes. Packed specs
@@ -307,6 +329,30 @@ func (c *Cache) saveApp(store *Store, key string, app *apk.App, err error) {
 	c.diskWrites.Add(1)
 }
 
+// installIR parks the compiled-program store entry for a built app behind a
+// lazy source: nothing is read, decoded or compiled until the app's first
+// execution asks ir.For for its program. Static-only consumers — lint
+// studies, source exports, reach audits — therefore pay zero IR cost on warm
+// (or cold) loads. On first execution a cleanly decoding entry counts as a
+// hit; a missing, corrupt or stale entry is a plain miss whose freshly
+// compiled program is written back to repair the store. The resolved program
+// registers in ir's process-wide registry keyed by the app pointer, so every
+// device created for this app — in any engine — shares the one program and
+// its inline caches.
+func (c *Cache) installIR(store *Store, key string, app *apk.App) {
+	ir.RegisterLazy(app,
+		func() ([]byte, bool) { return store.Load(kindIR, key) },
+		func() { c.irHits.Add(1) },
+		func(p *ir.Program) {
+			c.irMisses.Add(1)
+			if err := store.Save(kindIR, key, ir.Encode(p)); err != nil {
+				c.diskErrors.Add(1)
+				return
+			}
+			c.irWrites.Add(1)
+		})
+}
+
 // App returns the memoized build of spec. Packed specs yield apk.ErrPacked,
 // exactly like corpus.BuildApp; the error is memoized too. The returned App
 // is shared between callers and must be treated as read-only.
@@ -327,6 +373,9 @@ func (c *Cache) App(spec *corpus.AppSpec) (*apk.App, error) {
 		if store != nil {
 			if app, err, ok := c.loadApp(store, key); ok {
 				e.app, e.err = app, err
+				if e.err == nil && e.app != nil {
+					c.installIR(store, key, e.app)
+				}
 				return
 			}
 		}
@@ -334,6 +383,9 @@ func (c *Cache) App(spec *corpus.AppSpec) (*apk.App, error) {
 		e.app, e.err = corpus.BuildApp(spec)
 		if store != nil {
 			c.saveApp(store, key, e.app, e.err)
+			if e.err == nil && e.app != nil {
+				c.installIR(store, key, e.app)
+			}
 		}
 	})
 	return e.app, e.err

@@ -1,0 +1,113 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/ir"
+)
+
+// TestCompiledProgramPersistence pins the warm-run contract of the compiled
+// instruction-program layer. IR installation is lazy: loading an app (cold or
+// warm) parks a payload source and touches no counters, so static-only
+// consumers pay nothing. The first ir.For call resolves it — a cold cache
+// compiles once and writes the program through, a warm cache in a fresh
+// process (modeled by a second Cache over the same directory) decodes it
+// instead of compiling, and the decoded program is byte-identical to the
+// compiled one under Encode.
+func TestCompiledProgramPersistence(t *testing.T) {
+	dir := t.TempDir()
+	spec := corpus.DemoSpec()
+
+	cold, err := NewPersistentCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app1, err := cold.App(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.IRMisses != 0 || st.IRWrites != 0 || st.IRHits != 0 {
+		t.Fatalf("cold load alone must not touch IR counters, got %+v", st)
+	}
+	want := ir.Encode(ir.For(app1))
+	if st := cold.Stats(); st.IRMisses != 1 || st.IRWrites != 1 || st.IRHits != 0 {
+		t.Fatalf("cold run: want 1 IR miss + 1 write after first For, got %+v", st)
+	}
+	payload, ok := cold.Store().Load(kindIR, Key(spec))
+	if !ok {
+		t.Fatal("no IR entry on disk after a cold build's first execution")
+	}
+	if !bytes.Equal(payload, want) {
+		t.Fatal("stored IR payload differs from the registered program")
+	}
+
+	warm, err := NewPersistentCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := warm.App(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.IRHits != 0 || st.IRMisses != 0 || st.IRWrites != 0 {
+		t.Fatalf("warm load alone must not touch IR counters, got %+v", st)
+	}
+	got := ir.Encode(ir.For(app2))
+	if st := warm.Stats(); st.IRHits != 1 || st.IRMisses != 0 || st.IRWrites != 0 {
+		t.Fatalf("warm run: want 1 IR hit and no compile, got %+v", st)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("decoded program is not byte-identical to the compiled one")
+	}
+}
+
+// TestCompiledProgramCorruptEntryRecompiles: a damaged IR entry must read as
+// a miss when the program is first demanded — the cache recompiles,
+// re-persists (repairing the entry), and the run proceeds normally.
+func TestCompiledProgramCorruptEntryRecompiles(t *testing.T) {
+	dir := t.TempDir()
+	spec := corpus.DemoSpec()
+
+	cold, err := NewPersistentCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app1, err := cold.App(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.For(app1) // resolve the parked source so the entry is written
+	// Overwrite the entry with a checksum-valid but undecodable payload:
+	// the store layer accepts it, ir.Decode must reject it.
+	if err := cold.Store().Save(kindIR, Key(spec), []byte{0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := NewPersistentCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := warm.App(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.For(app2)
+	if st := warm.Stats(); st.IRHits != 0 || st.IRMisses != 1 || st.IRWrites != 1 {
+		t.Fatalf("corrupt entry: want recompile + rewrite, got %+v", st)
+	}
+	// The rewrite repaired the store: a third process decodes cleanly.
+	repaired, err := NewPersistentCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app3, err := repaired.App(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.For(app3)
+	if st := repaired.Stats(); st.IRHits != 1 || st.IRMisses != 0 {
+		t.Fatalf("repaired entry: want clean decode, got %+v", st)
+	}
+}

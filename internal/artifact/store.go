@@ -43,11 +43,19 @@ const (
 	// here. A bump changes the fingerprint, every existing entry turns
 	// stale, and the next run rebuilds and overwrites.
 	appCodecVersion        = 1
-	extractionCodecVersion = 2 // v2: callgraph edges carry a Ref operand
+	extractionCodecVersion = 3 // v3: the embedded AFTM model blob is binc, not JSON
 
 	// snapshotCodecVersion versions the persistent device-snapshot payloads
 	// (device/codec.go plus the op-list framing in session/snapshot.go).
-	snapshotCodecVersion = 1
+	// v2: listener registrations carry the inline-cache call-site id, and
+	// snapshot packs frame each entry with a body length for lazy decode.
+	snapshotCodecVersion = 2
+
+	// irCodecVersion versions the compiled instruction-program payloads
+	// (ir/codec.go). The program is a pure function of the built app, so the
+	// version only needs bumping when the IR encoding itself changes — app
+	// content drift is already covered by the cache key.
+	irCodecVersion = 1
 )
 
 // Artifact kinds.
@@ -55,14 +63,15 @@ const (
 	kindApp        = "app"
 	kindExtraction = "extraction"
 	kindSnapshot   = "snapshot"
+	kindIR         = "ir"
 )
 
 // Fingerprint returns the schema fingerprint stamped into every entry
-// header: container format plus both payload codec versions. Entries written
+// header: container format plus every payload codec version. Entries written
 // under a different fingerprint are stale and read as misses.
 func Fingerprint() string {
-	return fmt.Sprintf("fdart%d/app%d/ext%d/snap%d",
-		FormatVersion, appCodecVersion, extractionCodecVersion, snapshotCodecVersion)
+	return fmt.Sprintf("fdart%d/app%d/ext%d/snap%d/ir%d",
+		FormatVersion, appCodecVersion, extractionCodecVersion, snapshotCodecVersion, irCodecVersion)
 }
 
 // Store is a persistent, content-addressed artifact store rooted at one
@@ -79,7 +88,7 @@ func OpenStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("artifact: empty store directory")
 	}
-	for _, k := range []string{kindApp, kindExtraction, kindSnapshot} {
+	for _, k := range []string{kindApp, kindExtraction, kindSnapshot, kindIR} {
 		if err := os.MkdirAll(filepath.Join(dir, k), 0o755); err != nil {
 			return nil, fmt.Errorf("artifact: open store: %w", err)
 		}

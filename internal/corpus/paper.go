@@ -3,6 +3,7 @@ package corpus
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"fragdroid/internal/sensitive"
 )
@@ -65,7 +66,21 @@ type APICell struct {
 // (9.67% ≥ the paper's 9.6% lower bound for what Activity-level tools miss).
 // The per-cell placement is deterministic; EXPERIMENTS.md records why the
 // exact per-cell pattern of the scanned Table II is not recoverable.
+//
+// The plan is a pure function of the fixed Table I rows, so it is computed
+// once and shared; callers must treat the returned map and its slices as
+// read-only.
 func PaperAPICells() map[string][]APICell {
+	apiCellsOnce.Do(func() { apiCells = buildPaperAPICells() })
+	return apiCells
+}
+
+var (
+	apiCellsOnce sync.Once
+	apiCells     map[string][]APICell
+)
+
+func buildPaperAPICells() map[string][]APICell {
 	rows := PaperRows()
 	const (
 		bothCells = 106 // 2 relations each

@@ -44,17 +44,17 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 	}
 }
 
-func benchApp(b *testing.B, pkg string) *apk.App {
-	b.Helper()
+func benchApp(tb testing.TB, pkg string) *apk.App {
+	tb.Helper()
 	for _, row := range corpus.PaperRows() {
 		if row.Package == pkg {
 			app, err := corpus.BuildApp(corpus.PaperSpec(row))
 			if err != nil {
-				b.Fatal(err)
+				tb.Fatal(err)
 			}
 			return app
 		}
 	}
-	b.Fatalf("unknown corpus app %s", pkg)
+	tb.Fatalf("unknown corpus app %s", pkg)
 	return nil
 }

@@ -46,8 +46,8 @@ func EncodeSnapshotTo(w *binc.Writer, s *Snapshot) {
 	w.Str(s.crashMsg)
 	w.Int(len(s.journal))
 	for _, e := range s.journal {
-		w.Bool(e.isSens)
-		if e.isSens {
+		w.Bool(e.sens != nil)
+		if e.sens != nil {
 			w.Str(e.sens.API)
 			w.Str(e.sens.Class)
 			w.Bool(e.sens.InFragment)
@@ -133,6 +133,11 @@ func encodeBoolMap(w *binc.Writer, m map[string]bool) {
 	}
 }
 
+// encodeHandlerMap writes listener registrations including the inline-cache
+// call-site id. Site numbering is a deterministic function of the installed
+// app (ir.Compile is order-stable), so a persisted site is valid against any
+// future program compiled from the same app fingerprint; classic-mode devices
+// register everything at site 0, which decodes to the uncached path.
 func encodeHandlerMap(w *binc.Writer, m map[string]handlerRef) {
 	w.Bool(m != nil)
 	w.Int(len(m))
@@ -145,6 +150,7 @@ func encodeHandlerMap(w *binc.Writer, m map[string]handlerRef) {
 		w.Str(k)
 		w.Str(m[k].class)
 		w.Str(m[k].method)
+		w.Int(int(m[k].site))
 	}
 }
 
@@ -189,9 +195,8 @@ func DecodeSnapshotFrom(r *binc.Reader, app *apk.App) (*Snapshot, error) {
 		s.journal = make([]journalEntry, 0, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			var e journalEntry
-			e.isSens = r.Bool()
-			if e.isSens {
-				e.sens = SensitiveEvent{
+			if r.Bool() {
+				e.sens = &SensitiveEvent{
 					API:        r.Str(),
 					Class:      r.Str(),
 					InFragment: r.Bool(),
@@ -304,7 +309,7 @@ func decodeHandlerMap(r *binc.Reader) map[string]handlerRef {
 	m := make(map[string]handlerRef, n)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		k := r.Str()
-		m[k] = handlerRef{class: r.Str(), method: r.Str()}
+		m[k] = handlerRef{class: r.Str(), method: r.Str(), site: int32(r.Int())}
 	}
 	return m
 }
@@ -322,8 +327,10 @@ func (s *Snapshot) SizeEstimate() int {
 	)
 	size := 128 + len(s.crashMsg)
 	for _, e := range s.journal {
-		size += entryOverhead + len(e.line) +
-			len(e.sens.API) + len(e.sens.Class) + len(e.sens.Activity)
+		size += entryOverhead + len(e.line)
+		if e.sens != nil {
+			size += len(e.sens.API) + len(e.sens.Class) + len(e.sens.Activity)
+		}
 	}
 	for _, a := range s.stack {
 		size += activityOverhead + len(a.class) +

@@ -16,8 +16,11 @@ package device
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"sync/atomic"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/ir"
 	"fragdroid/internal/layout"
 	"fragdroid/internal/smali"
 )
@@ -73,12 +76,53 @@ type Options struct {
 	// pathological onCreate→startActivity cycles (treated as an ANR crash).
 	// Zero means the default of 16.
 	MaxStartDepth int
+	// MaxSteps, when positive, crashes the app once the device has executed
+	// that many instructions. Depth-bounded start chains can still fan out
+	// exponentially (k starts per onCreate, k^depth executions); the
+	// differential fuzzer uses this budget to keep such inputs finite. Zero
+	// (the default everywhere else) means unlimited.
+	MaxSteps int
+	// Interp selects the interpreter backend: "ir" runs precompiled method
+	// IR (the default), "classic" walks parsed smali directly. Empty uses
+	// the package default (settable via SetDefaultInterp, e.g. from the
+	// -interp CLI flag). Both backends are observably identical.
+	Interp string
+}
+
+// classicDefault flips the package-wide default backend to the classic
+// interpreter. Atomic so tests and CLI flag handling stay race-clean.
+var classicDefault atomic.Bool
+
+// SetDefaultInterp selects the backend used by devices whose Options.Interp
+// is empty: "ir" (also ""), or "classic".
+func SetDefaultInterp(mode string) error {
+	switch mode {
+	case "ir", "":
+		classicDefault.Store(false)
+	case "classic":
+		classicDefault.Store(true)
+	default:
+		return fmt.Errorf("device: unknown interpreter %q (want ir or classic)", mode)
+	}
+	return nil
+}
+
+// DefaultInterp reports the package-wide default backend.
+func DefaultInterp() string {
+	if classicDefault.Load() {
+		return "classic"
+	}
+	return "ir"
 }
 
 // Device is one emulated phone with a single installed app.
 type Device struct {
 	app  *apk.App
 	opts Options
+	// ir is the compiled program of the IR fast path; nil selects the
+	// classic interpreter. Shared (with its inline caches) by every device
+	// running the same app.
+	ir *ir.Program
 
 	stack    []*activityInstance
 	crashed  bool
@@ -165,6 +209,10 @@ func (f *fragmentInstance) setListener(ref string, h handlerRef) {
 type handlerRef struct {
 	class  string
 	method string
+	// site is the inline-cache slot for this handler's dispatch; 0 means
+	// "no cache" (classic-mode registrations, snapshot-decoded handlers).
+	// Sites are allocated from 1 so the zero value is always safe.
+	site int32
 }
 
 type dialog struct {
@@ -188,7 +236,23 @@ func New(app *apk.App, opts Options) *Device {
 	if opts.MaxStartDepth == 0 {
 		opts.MaxStartDepth = 16
 	}
-	return &Device{app: app, opts: opts}
+	mode := opts.Interp
+	if mode == "" {
+		mode = DefaultInterp()
+	}
+	d := &Device{app: app, opts: opts}
+	if mode != "classic" {
+		d.ir = ir.For(app)
+	}
+	return d
+}
+
+// Interp reports the backend this device runs on.
+func (d *Device) Interp() string {
+	if d.ir != nil {
+		return "ir"
+	}
+	return "classic"
 }
 
 // App returns the installed app.
@@ -212,19 +276,24 @@ func (d *Device) ExecutedSteps() int { return d.steps - d.restored }
 func (d *Device) Events() []string {
 	out := make([]string, 0, len(d.journal))
 	for _, e := range d.journal {
-		if !e.isSens {
+		if e.sens == nil {
 			out = append(out, e.line)
 		}
 	}
 	return out
 }
 
-func (d *Device) logf(format string, args ...any) {
-	line := fmt.Sprintf(format, args...)
+// log appends a pre-built line to the journal; hot paths concatenate their
+// lines directly instead of going through fmt.
+func (d *Device) log(line string) {
 	d.journal = append(d.journal, journalEntry{line: line})
 	if d.opts.Hook != nil {
 		d.opts.Hook(line)
 	}
+}
+
+func (d *Device) logf(format string, args ...any) {
+	d.log(fmt.Sprintf(format, args...))
 }
 
 // Crashed reports whether the app is force-closed; CrashReason says why.
@@ -261,7 +330,7 @@ func (d *Device) LaunchMain() error {
 		return err
 	}
 	d.reset()
-	d.logf("am start -n %s -a android.intent.action.MAIN -c android.intent.category.LAUNCHER", entry)
+	d.log("am start -n " + entry + " -a android.intent.action.MAIN -c android.intent.category.LAUNCHER")
 	return d.startActivity(intent{explicit: entry}, 0)
 }
 
@@ -276,7 +345,7 @@ func (d *Device) ForceStart(activity string) error {
 		return fmt.Errorf("device: am start: activity %s not declared", activity)
 	}
 	d.reset()
-	d.logf("am start -n %s", activity)
+	d.log("am start -n " + activity)
 	return d.startActivity(intent{explicit: activity}, 0)
 }
 
@@ -299,11 +368,11 @@ func (d *Device) Back() error {
 	top := d.stack[len(d.stack)-1]
 	if top.dialog != nil {
 		top.dialog = nil
-		d.logf("back: dismissed dialog")
+		d.log("back: dismissed dialog")
 		return nil
 	}
 	d.stack = d.stack[:len(d.stack)-1]
-	d.logf("back: finished %s", top.class)
+	d.log("back: finished " + top.class)
 	return nil
 }
 
@@ -312,7 +381,7 @@ func (d *Device) crash(reason string) {
 	d.crashed = true
 	d.crashMsg = reason
 	d.stack = nil
-	d.logf("FATAL EXCEPTION: %s", reason)
+	d.log("FATAL EXCEPTION: " + reason)
 }
 
 // DismissDialog clicks blank space to remove a dialog or popup menu (§VI-A
@@ -329,7 +398,7 @@ func (d *Device) DismissDialog() error {
 		return errors.New("device: no dialog to dismiss")
 	}
 	d.steps++
-	d.logf("dismiss dialog %q", t.dialog.text)
+	d.log("dismiss dialog " + strconv.Quote(t.dialog.text))
 	t.dialog = nil
 	return nil
 }
@@ -361,7 +430,7 @@ func (d *Device) EnterText(ref, value string) error {
 		return fmt.Errorf("%w: %s", ErrNotEditable, ref)
 	}
 	t.setText(apk.NormalizeRef(ref), value)
-	d.logf("enter %q into %s", value, ref)
+	d.log("enter " + strconv.Quote(value) + " into " + ref)
 	return nil
 }
 
@@ -377,7 +446,7 @@ func (d *Device) Click(ref string) error {
 	}
 	d.steps++
 	if t.dialog != nil {
-		d.logf("click %s intercepted by dialog; dismissed", ref)
+		d.log("click " + ref + " intercepted by dialog; dismissed")
 		t.dialog = nil
 		return nil
 	}
@@ -402,9 +471,9 @@ func (d *Device) Click(ref string) error {
 		} else {
 			t.setText(nref, CheckBoxChecked)
 		}
-		d.logf("checkbox %s -> %s", ref, t.texts[nref])
+		d.log("checkbox " + ref + " -> " + t.texts[nref])
 		if h, ok := d.handlerFor(t, w, owner, nref); ok {
-			return d.invoke(t, h.class, h.method)
+			return d.dispatch(t, h)
 		}
 		return nil
 	}
@@ -412,8 +481,8 @@ func (d *Device) Click(ref string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotClickable, ref)
 	}
-	d.logf("click %s -> %s.%s", ref, h.class, h.method)
-	return d.invoke(t, h.class, h.method)
+	d.log("click " + ref + " -> " + h.class + "." + h.method)
+	return d.dispatch(t, h)
 }
 
 // CheckBox states readable through the widget's text value.
@@ -422,16 +491,30 @@ const (
 	CheckBoxUnchecked = "unchecked"
 )
 
+// dispatch invokes a resolved handler on the active backend.
+func (d *Device) dispatch(t *activityInstance, h handlerRef) error {
+	if d.ir != nil {
+		return d.invokeIR(t, h)
+	}
+	return d.invoke(t, h.class, h.method)
+}
+
 // widgetOwner identifies which component's layout a widget came from.
 type widgetOwner struct {
 	// fragment is nil for activity-layout widgets.
 	fragment *fragmentInstance
+	// site is the inline-cache slot of the widget's XML onClick handler on
+	// the IR path; 0 elsewhere.
+	site int32
 }
 
 // findWidget locates a widget in the current screen: the activity layout
 // first, then each live fragment's layout. The returned visibility accounts
 // for Hidden flags, visibility overrides, and hidden ancestors.
 func (d *Device) findWidget(t *activityInstance, nref string) (*layout.Widget, widgetOwner, bool, bool) {
+	if d.ir != nil {
+		return d.findWidgetIR(t, nref)
+	}
 	if t.content != nil {
 		if w, vis, ok := findInTree(t.content, nref, t.visible); ok {
 			return w, widgetOwner{}, vis, true
@@ -495,9 +578,9 @@ func widgetVisible(w *layout.Widget, overrides map[string]bool) bool {
 func (d *Device) handlerFor(t *activityInstance, w *layout.Widget, owner widgetOwner, nref string) (handlerRef, bool) {
 	if w.OnClick != "" {
 		if owner.fragment != nil {
-			return handlerRef{class: owner.fragment.class, method: w.OnClick}, true
+			return handlerRef{class: owner.fragment.class, method: w.OnClick, site: owner.site}, true
 		}
-		return handlerRef{class: t.class, method: w.OnClick}, true
+		return handlerRef{class: t.class, method: w.OnClick, site: owner.site}, true
 	}
 	if owner.fragment != nil {
 		if h, ok := owner.fragment.listeners[nref]; ok {
@@ -514,6 +597,13 @@ func (d *Device) handlerFor(t *activityInstance, w *layout.Widget, owner widgetO
 // FragmentManager anywhere in its code — the runtime precondition for the
 // reflection mechanism.
 func (d *Device) classUsesFM(class string) bool {
+	if d.ir != nil {
+		if ci := d.ir.ClassID(class); ci >= 0 {
+			return d.ir.Classes[ci].UsesFM
+		}
+		// Classes absent from the program can still have inner classes in
+		// it; fall through to the scan, like the classic path.
+	}
 	for _, cn := range d.app.Program.ClassAndInner(class) {
 		c := d.app.Program.Class(cn)
 		if c == nil {
@@ -557,6 +647,6 @@ func (d *Device) Reflect(fragment, container string) error {
 	if !ok || !cw.Container() {
 		return &ReflectionError{Fragment: fragment, Reason: fmt.Sprintf("no container %s in current UI", container)}
 	}
-	d.logf("reflect: commit %s into %s", fragment, container)
+	d.log("reflect: commit " + fragment + " into " + container)
 	return d.commitFragment(t, nref, fragment, true)
 }

@@ -48,32 +48,36 @@ type UIDump struct {
 
 // VisibleRefs returns the refs of visible widgets.
 func (u UIDump) VisibleRefs() []string {
-	var out []string
-	for _, w := range u.Widgets {
-		if w.Visible {
-			out = append(out, w.Ref)
-		}
-	}
-	return out
+	return u.refs(func(w WidgetInfo) bool { return w.Visible })
 }
 
 // ClickableRefs returns refs that are both visible and clickable, in draw
 // order.
 func (u UIDump) ClickableRefs() []string {
-	var out []string
-	for _, w := range u.Widgets {
-		if w.Visible && w.Clickable {
-			out = append(out, w.Ref)
-		}
-	}
-	return out
+	return u.refs(func(w WidgetInfo) bool { return w.Visible && w.Clickable })
 }
 
 // EditableRefs returns visible input widgets in draw order.
 func (u UIDump) EditableRefs() []string {
-	var out []string
+	return u.refs(func(w WidgetInfo) bool { return w.Visible && w.Editable })
+}
+
+// refs collects matching widget refs in draw order: counted first so the
+// result is a single exact allocation, nil when nothing matches (these run
+// after every observed action, so growslice churn here is pure GC pressure).
+func (u UIDump) refs(match func(WidgetInfo) bool) []string {
+	n := 0
 	for _, w := range u.Widgets {
-		if w.Visible && w.Editable {
+		if match(w) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for _, w := range u.Widgets {
+		if match(w) {
 			out = append(out, w.Ref)
 		}
 	}
@@ -90,6 +94,22 @@ func (d *Device) Dump() (UIDump, error) {
 		return UIDump{}, ErrNotRunning
 	}
 	dump := UIDump{Activity: t.class, HasDialog: t.dialog != nil}
+	// Size the widget list exactly: every IDRef'd widget in the content tree
+	// and each live fragment's tree produces one entry regardless of
+	// visibility, and layouts are immutable, so the per-layout census is
+	// memoized and the sum is exact — one allocation, no growslice ladder.
+	n := 0
+	if t.content != nil {
+		n = t.content.IDRefCount()
+	}
+	for _, c := range t.fragOrder {
+		if f := t.fragments[c]; f != nil && f.content != nil {
+			n += f.content.IDRefCount()
+		}
+	}
+	if n > 0 {
+		dump.Widgets = make([]WidgetInfo, 0, n)
+	}
 
 	appendTree := func(l *layout.Layout, fromFragment string, baseVisible bool, owner *fragmentInstance) {
 		if l == nil {
@@ -143,14 +163,22 @@ func (d *Device) Dump() (UIDump, error) {
 		appendTree(f.content, f.class, baseVis, f)
 	}
 
-	var fm []string
+	nfm := 0
 	for _, c := range t.fragOrder {
 		if f := t.fragments[c]; f != nil && f.viaFM {
-			fm = append(fm, f.class)
+			nfm++
 		}
 	}
-	sort.Strings(fm)
-	dump.FMFragments = fm
+	if nfm > 0 {
+		fm := make([]string, 0, nfm)
+		for _, c := range t.fragOrder {
+			if f := t.fragments[c]; f != nil && f.viaFM {
+				fm = append(fm, f.class)
+			}
+		}
+		sort.Strings(fm)
+		dump.FMFragments = fm
+	}
 	return dump, nil
 }
 

@@ -51,6 +51,9 @@ func (c crashError) Error() string { return "crash: " + c.reason }
 // its onCreate. Crashes (unresolvable intents, missing extras, explicit
 // crash instructions, start-depth overflow) force-close the app.
 func (d *Device) startActivity(it intent, depth int) error {
+	if d.ir != nil {
+		return d.startActivityIR(it, depth)
+	}
 	if depth > d.opts.MaxStartDepth {
 		d.crash("ANR: activity start depth exceeded")
 		return ErrCrashed
@@ -141,6 +144,10 @@ func (d *Device) invoke(t *activityInstance, class, method string) error {
 func (d *Device) run(ctx *execCtx, m *smali.Method) error {
 	for _, ins := range m.Body {
 		if d.crashed {
+			return ErrCrashed
+		}
+		if d.opts.MaxSteps > 0 && d.steps >= d.opts.MaxSteps {
+			d.crash("ANR: step budget exhausted")
 			return ErrCrashed
 		}
 		d.steps++
@@ -349,7 +356,7 @@ func (d *Device) emitSensitive(ctx *execCtx, api string) {
 	// Journal even without a monitor: a snapshot taken on an unmonitored
 	// device must still re-emit the emission stream when restored on a
 	// monitored one.
-	d.journal = append(d.journal, journalEntry{sens: ev, isSens: true})
+	d.journal = append(d.journal, journalEntry{sens: &ev})
 	if d.opts.Monitor != nil {
 		d.opts.Monitor(ev)
 	}
@@ -359,6 +366,9 @@ func (d *Device) emitSensitive(ctx *execCtx, api string) {
 // to the action, in declaration order. Receivers run without a UI context;
 // they may start activities and invoke sensitive APIs.
 func (d *Device) deliverBroadcast(action string, depth int) error {
+	if d.ir != nil {
+		return d.deliverBroadcastIR(action, depth)
+	}
 	if depth > d.opts.MaxStartDepth {
 		d.crash("ANR: broadcast depth exceeded")
 		return ErrCrashed
@@ -396,6 +406,9 @@ func (d *Device) Broadcast(action string) error {
 // commitFragment instantiates a fragment into a container, running its
 // onCreateView in fragment context.
 func (d *Device) commitFragment(t *activityInstance, container, fragment string, viaFM bool) error {
+	if d.ir != nil {
+		return d.commitFragmentIR(t, container, fragment, d.ir.ClassID(fragment), viaFM)
+	}
 	fc := d.app.Program.Class(fragment)
 	if fc == nil {
 		return crashError{fmt.Sprintf("ClassNotFoundException: %s", fragment)}
@@ -433,7 +446,7 @@ func (d *Device) removeFragment(t *activityInstance, fragment string) {
 	for _, c := range t.fragOrder {
 		if f := t.fragments[c]; f != nil && f.class == fragment {
 			delete(t.fragments, c)
-			d.logf("fragment %s removed from %s", fragment, c)
+			d.log("fragment " + fragment + " removed from " + c)
 			return
 		}
 	}

@@ -23,9 +23,10 @@ var ErrSnapshotBehind = errors.New("device: snapshot is behind the device's curr
 // real re-execution of the route prefix would have produced.
 type journalEntry struct {
 	line string
-	sens SensitiveEvent
-	// isSens distinguishes sensitive emissions from log lines.
-	isSens bool
+	// sens is non-nil for sensitive-API emissions, nil for log lines. A
+	// pointer keeps the common log entry at two words — the journal is the
+	// interpreter's fastest-growing slice, and most entries are plain lines.
+	sens *SensitiveEvent
 }
 
 // Snapshot is an immutable capture of a device's full interpreter state: the
@@ -92,9 +93,9 @@ func (d *Device) Restore(s *Snapshot) error {
 	d.restored += s.steps
 	d.journal = append(d.journal, s.journal...)
 	for _, e := range s.journal {
-		if e.isSens {
+		if e.sens != nil {
 			if d.opts.Monitor != nil {
-				d.opts.Monitor(e.sens)
+				d.opts.Monitor(*e.sens)
 			}
 		} else if d.opts.Hook != nil {
 			d.opts.Hook(e.line)
@@ -145,9 +146,9 @@ func (d *Device) Advance(s *Snapshot) error {
 	suffix := s.journal[len(d.journal):]
 	d.journal = append(d.journal, suffix...)
 	for _, e := range suffix {
-		if e.isSens {
+		if e.sens != nil {
 			if d.opts.Monitor != nil {
-				d.opts.Monitor(e.sens)
+				d.opts.Monitor(*e.sens)
 			}
 		} else if d.opts.Hook != nil {
 			d.opts.Hook(e.line)

@@ -206,8 +206,10 @@ type engine struct {
 
 	// hints maps input-widget refs to their hint text (for InputGen).
 	hints map[string]string
-	// explored marks interface keys whose widgets were all clicked.
-	explored map[string]bool
+	// explored marks interfaces whose widgets were all clicked. Keyed on the
+	// iface value itself — it is a small comparable struct, so map lookups
+	// and state comparisons need no key-string allocation.
+	explored map[iface]bool
 	// reflected marks activities whose reflection items were generated.
 	reflected map[string]bool
 	// worklist holds interfaces awaiting Case 3 exploration.
@@ -266,8 +268,6 @@ type iface struct {
 	fragments string // sorted, comma-joined
 	widgets   string // digest of visible clickable refs
 }
-
-func (i iface) key() string { return i.activity + "|" + i.fragments + "|" + i.widgets }
 
 func (i iface) String() string {
 	if i.fragments == "" {
@@ -328,7 +328,7 @@ func NewStrategy(ex *statics.Extraction, cfg Config) *engine {
 		model:     ex.Model.Clone(),
 		visits:    make(map[aftm.Node]Visit),
 		hints:     make(map[string]string),
-		explored:  make(map[string]bool),
+		explored:  make(map[iface]bool),
 		reflected: make(map[string]bool),
 		launch:    robotium.Script{Name: "launch", Ops: []robotium.Op{robotium.LaunchMain()}},
 	}
@@ -449,7 +449,7 @@ func (e *engine) arrive(st iface, method ReachMethod, route robotium.Script) {
 			e.visit(aftm.FragmentNode(f), method, route)
 		}
 	}
-	if !e.explored[st.key()] {
+	if !e.explored[st] {
 		item := workItem{method: method, target: st, route: route}
 		e.worklist = append(e.worklist, item)
 		e.submitWarm(item)
@@ -486,10 +486,10 @@ func (e *engine) Propose() (session.TestCase, bool) {
 			for len(e.worklist) > 0 && !e.s.Exhausted() {
 				item := e.worklist[0]
 				e.worklist = e.worklist[1:]
-				if e.explored[item.target.key()] {
+				if e.explored[item.target] {
 					continue
 				}
-				e.explored[item.target.key()] = true
+				e.explored[item.target] = true
 				e.progressed = true
 				return session.TestCase{Run: func() error {
 					e.s.Notef("explore interface %s (reached via %s)", item.target, item.method)
@@ -585,7 +585,7 @@ func (e *engine) replayTo(item workItem) (*device.Device, bool) {
 		e.s.Notef("replay to %s: observe failed: %v", item.target, err)
 		return nil, false
 	}
-	if st.key() != item.target.key() {
+	if st != item.target {
 		e.s.Notef("replay diverged: wanted %s, got %s", item.target, st)
 		return nil, false
 	}
@@ -650,7 +650,7 @@ func (e *engine) exploreInterface(item workItem) {
 			pristine = true
 		}
 		cur, preDump, err := e.observe(d)
-		if err != nil || cur.key() != item.target.key() {
+		if err != nil || cur != item.target {
 			return
 		}
 		// Compute the fill operations once and apply exactly those, so the
@@ -734,7 +734,7 @@ func (e *engine) exploreInterface(item workItem) {
 // interfaces are skipped, changed ones update the model and enqueue the new
 // state, and BACK navigation optionally keeps the session alive.
 func (e *engine) afterClick(item workItem, ref, ownerFrag string, fillOps []robotium.Op, d *device.Device, after iface, fresh *bool) {
-	if after.key() == item.target.key() {
+	if after == item.target {
 		// Interface unchanged (or a popup was handled): move on.
 		return
 	}
@@ -748,7 +748,7 @@ func (e *engine) afterClick(item workItem, ref, ownerFrag string, fillOps []robo
 	// session instead of replaying from scratch.
 	if e.cfg.UseBackNavigation && after.activity != item.target.activity {
 		if err := d.Back(); err == nil {
-			if back, _, err := e.observe(d); err == nil && back.key() == item.target.key() {
+			if back, _, err := e.observe(d); err == nil && back == item.target {
 				*fresh = false
 			}
 		}

@@ -53,10 +53,11 @@ func PlanQueue(m *aftm.Model) []PlannedItem {
 		return nil
 	}
 	var items []PlannedItem
-	for i, n := range m.BFS() {
+	order, pathOf := m.Paths()
+	for i, n := range order {
 		item := PlannedItem{Index: i, Target: n, Start: n, Method: ReachLaunch}
 		if n != entry {
-			path := m.PathTo(n)
+			path := pathOf[n]
 			item.Path = path
 			if len(path) > 0 {
 				last := path[len(path)-1]

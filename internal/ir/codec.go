@@ -1,0 +1,199 @@
+package ir
+
+import (
+	"fmt"
+
+	"fragdroid/internal/apk"
+	"fragdroid/internal/binc"
+)
+
+// Encode serializes the compile-time tables of a program: strings, classes,
+// layout names, method windows, and the flat code slice. Link-time state
+// (layout widget indexes, inline-cache slots) is deterministic given the app
+// and is rebuilt by Decode, so it never hits disk. Negative indexes are
+// stored with a +1 bias because binc carries only unsigned scalars.
+func Encode(p *Program) []byte {
+	w := binc.NewWriter()
+	w.Int(len(p.Strings))
+	for _, s := range p.Strings {
+		w.Str(s)
+	}
+	w.Int(int(p.instrSites))
+	w.Int(len(p.Classes))
+	for i := range p.Classes {
+		c := &p.Classes[i]
+		w.Str(c.Name)
+		w.Uvarint(uint64(c.Super + 1))
+		w.Bool(c.IsFragment)
+		w.Bool(c.UsesFM)
+		w.Bool(c.RequiresArgs)
+		w.Bool(c.Framework)
+		for _, v := range c.ActLife {
+			w.Uvarint(uint64(v + 1))
+		}
+		for _, v := range c.FragLife {
+			w.Uvarint(uint64(v + 1))
+		}
+		w.Uvarint(uint64(c.OnReceive + 1))
+	}
+	w.Int(len(p.Layouts))
+	for _, li := range p.Layouts {
+		w.Str(li.Name)
+	}
+	w.Int(len(p.Methods))
+	for i := range p.Methods {
+		m := &p.Methods[i]
+		w.Str(m.Name)
+		w.Int(int(m.Class))
+		w.Int(int(m.End - m.Off))
+	}
+	w.Int(len(p.Code))
+	for i := range p.Code {
+		ins := &p.Code[i]
+		w.Uvarint(uint64(ins.Op))
+		w.Uvarint(uint64(ins.A + 1))
+		w.Uvarint(uint64(ins.B + 1))
+		w.Uvarint(uint64(ins.C + 1))
+	}
+	return w.Bytes()
+}
+
+// Decode deserializes a compiled program and links it against app. Every
+// index is bounds-checked before the program is handed to the interpreter —
+// a corrupted payload yields an error (the caller recompiles), never a
+// runtime panic.
+func Decode(data []byte, app *apk.App) (*Program, error) {
+	r, err := binc.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{}
+	ns := r.Int()
+	p.Strings = make([]string, 0, ns)
+	for i := 0; i < ns; i++ {
+		p.Strings = append(p.Strings, r.Str())
+	}
+	p.instrSites = int32(r.Int())
+
+	// biased reads a +1-biased index, allowing -1.
+	biased := func() int32 { return int32(r.Uvarint()) - 1 }
+
+	nc := r.Int()
+	p.Classes = make([]Class, nc)
+	p.classIdx = make(map[string]int32, nc)
+	for i := 0; i < nc; i++ {
+		c := &p.Classes[i]
+		c.Name = r.Str()
+		c.Super = biased()
+		c.IsFragment = r.Bool()
+		c.UsesFM = r.Bool()
+		c.RequiresArgs = r.Bool()
+		c.Framework = r.Bool()
+		for k := range c.ActLife {
+			c.ActLife[k] = biased()
+		}
+		for k := range c.FragLife {
+			c.FragLife[k] = biased()
+		}
+		c.OnReceive = biased()
+		p.classIdx[c.Name] = int32(i)
+	}
+	nl := r.Int()
+	p.Layouts = make([]*LayoutInfo, nl)
+	for i := 0; i < nl; i++ {
+		p.Layouts[i] = &LayoutInfo{Name: r.Str()}
+	}
+	nm := r.Int()
+	p.Methods = make([]Method, nm)
+	off := int32(0)
+	for i := 0; i < nm; i++ {
+		m := &p.Methods[i]
+		m.Name = r.Str()
+		m.Class = int32(r.Int())
+		m.Off = off
+		off += int32(r.Int())
+		m.End = off
+	}
+	ni := r.Int()
+	p.Code = make([]Instr, ni)
+	for i := 0; i < ni; i++ {
+		ins := &p.Code[i]
+		ins.Op = Opcode(r.Uvarint())
+		ins.A = biased()
+		ins.B = biased()
+		ins.C = biased()
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	p.link(app)
+	return p, nil
+}
+
+// validate bounds-checks every decoded index against the tables it refers
+// to, plus the structural invariants Compile guarantees.
+func (p *Program) validate() error {
+	nc, nm, ns := int32(len(p.Classes)), int32(len(p.Methods)), int32(len(p.Strings))
+	if p.instrSites < 0 {
+		return fmt.Errorf("ir: negative site count")
+	}
+	for i := range p.Classes {
+		c := &p.Classes[i]
+		if c.Super < -1 || c.Super >= nc {
+			return fmt.Errorf("ir: class %d: super %d out of range", i, c.Super)
+		}
+		for _, v := range [...]int32{c.ActLife[0], c.ActLife[1], c.ActLife[2], c.FragLife[0], c.FragLife[1], c.FragLife[2], c.OnReceive} {
+			if v < -1 || v >= nm {
+				return fmt.Errorf("ir: class %d: vtable entry %d out of range", i, v)
+			}
+		}
+	}
+	for i := range p.Methods {
+		m := &p.Methods[i]
+		if m.Class < 0 || m.Class >= nc {
+			return fmt.Errorf("ir: method %d: class %d out of range", i, m.Class)
+		}
+		if m.Off < 0 || m.End < m.Off || m.End > int32(len(p.Code)) {
+			return fmt.Errorf("ir: method %d: window [%d,%d) out of range", i, m.Off, m.End)
+		}
+		c := &p.Classes[m.Class]
+		if c.Framework {
+			return fmt.Errorf("ir: method %d on framework class %s", i, c.Name)
+		}
+		if c.methods == nil {
+			c.methods = make(map[string]int32)
+		}
+		if _, dup := c.methods[m.Name]; !dup {
+			c.methods[m.Name] = int32(i)
+		}
+	}
+	str := func(v int32) bool { return v >= 0 && v < ns }
+	for i := range p.Code {
+		ins := &p.Code[i]
+		if ins.Op <= opInvalid || ins.Op >= opCount {
+			return fmt.Errorf("ir: instr %d: bad opcode %d", i, ins.Op)
+		}
+		ok := true
+		switch ins.Op {
+		case OpSetContentView:
+			ok = ins.A >= -1 && ins.A < int32(len(p.Layouts)) && str(ins.B)
+		case OpSetClickListener:
+			ok = str(ins.A) && str(ins.B) && ins.C >= 1 && ins.C <= p.instrSites
+		case OpToggleVisible, OpSetText, OpPutExtra, OpRequireInput:
+			ok = str(ins.A) && str(ins.B)
+		case OpTxnAdd, OpTxnReplace, OpInflateView:
+			ok = str(ins.A) && str(ins.B) && ins.C >= -1 && ins.C < nc
+		case OpNewIntent, OpNewIntentAction, OpSendBroadcast, OpTxnRemove,
+			OpShowDialog, OpShowPopup, OpRequireExtra, OpCrash,
+			OpInvokeSensitive, OpLog, OpUnknown:
+			ok = str(ins.A)
+		}
+		if !ok {
+			return fmt.Errorf("ir: instr %d (%s): operand out of range", i, ins.Op)
+		}
+	}
+	return nil
+}

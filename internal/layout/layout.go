@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"fragdroid/internal/res"
 )
@@ -68,6 +69,30 @@ type Layout struct {
 	Name string
 	// Root is the top of the widget tree.
 	Root *Widget
+
+	// idRefs caches IDRefCount's census as count+1 (zero = not computed).
+	// Accessed atomically: devices sharing one installed app read layouts
+	// concurrently, and the computation is idempotent.
+	idRefs int32
+}
+
+// IDRefCount returns the number of widgets in the tree carrying an ID
+// reference — exactly the number of entries this layout contributes to a UI
+// dump. Layouts are immutable once built, so the count is computed on first
+// use and cached.
+func (l *Layout) IDRefCount() int {
+	if v := atomic.LoadInt32(&l.idRefs); v != 0 {
+		return int(v - 1)
+	}
+	var n int32
+	l.Walk(func(w *Widget) bool {
+		if w.IDRef != "" {
+			n++
+		}
+		return true
+	})
+	atomic.StoreInt32(&l.idRefs, n+1)
+	return int(n)
 }
 
 // Clickable reports whether this widget reacts to clicks by itself: it has an

@@ -646,7 +646,7 @@ func (c *ctx) launcherBlockedSensitive() {
 // for diagnostic positioning; the owner component itself when no method site
 // matches (receiver relations attribute to the component).
 func launcherSiteOf(ex *statics.Extraction, api, owner string) (class, method string, line int) {
-	for _, s := range ex.Graph.Sites() {
+	for _, s := range ex.Graph().Sites() {
 		if s.API == api && outerComponent(s.Node.Class) == owner {
 			return s.Node.Class, s.Node.Method, s.Line
 		}

@@ -182,7 +182,7 @@ func (s *searchState) onPath(n callgraph.Node) bool {
 // in deterministic order: the launcher first, then the effective activities
 // as forced starts.
 func (p *Planner) roots() []*searchState {
-	g := p.ex.Graph
+	g := p.ex.Graph()
 	var out []*searchState
 	launcher := g.Launcher()
 	if launcher != "" {
@@ -207,7 +207,7 @@ func (p *Planner) roots() []*searchState {
 // predicate accepts. Paths come back cheapest-first (cost, then length, then
 // discovery order); paths through a target node are not extended further.
 func (p *Planner) Enumerate(isTarget func(callgraph.Node) bool) []Path {
-	g := p.ex.Graph
+	g := p.ex.Graph()
 	f := frontier{}
 	seq := 0
 	for _, r := range p.roots() {

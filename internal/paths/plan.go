@@ -61,7 +61,7 @@ func (p *Planner) PlanTarget(t Target, isTarget func(callgraph.Node) bool) SiteP
 // site exists.
 func (p *Planner) apiTargets(api, owner string) (func(callgraph.Node) bool, bool) {
 	nodes := make(map[callgraph.Node]bool)
-	for _, s := range p.ex.Graph.Sites() {
+	for _, s := range p.ex.Graph().Sites() {
 		if s.API == api && callgraph.OuterComponent(s.Node.Class) == owner {
 			nodes[s.Node] = true
 		}
@@ -122,17 +122,17 @@ func (p *Planner) PlanComponent(class string) SitePlan {
 // componentNode maps a class to its component node, trying activity,
 // fragment, then receiver kind.
 func (p *Planner) componentNode(class string) (callgraph.Node, bool) {
-	for _, a := range p.ex.Graph.Activities() {
+	for _, a := range p.ex.Graph().Activities() {
 		if a == class {
 			return callgraph.ActivityNode(class), true
 		}
 	}
-	for _, f := range p.ex.Graph.Fragments() {
+	for _, f := range p.ex.Graph().Fragments() {
 		if f == class {
 			return callgraph.FragmentNode(class), true
 		}
 	}
-	for _, r := range p.ex.Graph.Receivers() {
+	for _, r := range p.ex.Graph().Receivers() {
 		if r == class {
 			return callgraph.ReceiverNode(class), true
 		}

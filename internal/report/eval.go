@@ -158,9 +158,17 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 	exs := make([]*statics.Extraction, len(rows))
 	errs := make([]error, len(rows))
 
+	// One spec per row, shared by the build and extract stages: the cache only
+	// reads specs (key derivation, and BuildApp on a cold miss), so there is no
+	// reason to generate each app's spec twice per run.
+	specs := make([]*corpus.AppSpec, len(rows))
+	for i := range rows {
+		specs[i] = corpus.PaperSpec(rows[i])
+	}
+
 	runStaged(len(rows), []stage{
 		{limit: limits.Build, fn: func(i int) bool {
-			app, err := cache.App(corpus.PaperSpec(rows[i]))
+			app, err := cache.App(specs[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("report: build %s: %w", rows[i].Package, err)
 				return false
@@ -169,7 +177,7 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 			return true
 		}},
 		{limit: limits.Extract, fn: func(i int) bool {
-			ex, err := cache.Extraction(corpus.PaperSpec(rows[i]))
+			ex, err := cache.Extraction(specs[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("report: extract %s: %w", rows[i].Package, err)
 				return false

@@ -1,0 +1,140 @@
+package session_test
+
+import (
+	"testing"
+
+	"fragdroid/internal/corpus"
+	"fragdroid/internal/robotium"
+	"fragdroid/internal/session"
+)
+
+// TestPackDecodeIsLazy pins the streaming-decode contract of snapshot packs:
+// a warm load indexes every persisted entry but decodes none of them, a
+// lookup materializes exactly the entries its prefix scan hits, and the
+// untouched remainder stays encoded. This is the mechanism behind the warm
+// persistent run beating re-execution — decode cost scales with the routes a
+// run replays, not with the size of the pack.
+func TestPackDecodeIsLazy(t *testing.T) {
+	st := openStore(t)
+
+	// Seed two distinct durable routes into one pack. (A bare launch route
+	// would not add a third durable entry: it is checkpointed as a partial
+	// prefix of these routes first, and existing entries skip the
+	// persistence gate.)
+	routes := []robotium.Script{
+		launchScript().Append("tab", robotium.Click(corpus.TabButtonRef("Main", "Recent"))),
+		launchScript().Append("nav", robotium.Click(corpus.NavButtonRef("Main", "Detail"))),
+	}
+	cold, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := session.NewSnapshotMemo(0)
+	m1.AttachStore(st)
+	s1 := session.New(cold, session.Options{AutoDismiss: true, Snapshots: m1})
+	for _, route := range routes {
+		if _, res, ok := s1.RunScript(route, session.PurposeReplay); !ok || res.Err != nil {
+			t.Fatalf("seed %s: ok=%v err=%v", route.Name, ok, res.Err)
+		}
+	}
+	if err := m1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if indexed, decoded := m1.PackStats(); indexed != 0 || decoded != 0 {
+		t.Fatalf("seed memo touched the lazy tier: indexed=%d decoded=%d", indexed, decoded)
+	}
+
+	// Warm "restart": the pack load must index everything, decode nothing.
+	warm, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := session.NewSnapshotMemo(0)
+	m2.AttachStore(st)
+	snap, n, _ := m2.LongestPrefix(warm, true, routes[0].Ops)
+	if snap == nil || n != len(routes[0].Ops) {
+		t.Fatalf("warm lookup missed: n=%d", n)
+	}
+	indexed, decoded := m2.PackStats()
+	if indexed < len(routes) {
+		t.Fatalf("pack load indexed %d entries, want at least %d", indexed, len(routes))
+	}
+	// The longest-first prefix scan may hit shorter stored prefixes of the
+	// requested route (launch alone is one of them), but the never-requested
+	// sibling route must stay encoded.
+	if decoded >= indexed {
+		t.Fatalf("decoded %d of %d indexed entries; nothing stayed lazy", decoded, indexed)
+	}
+	if decoded == 0 {
+		t.Fatal("a served lookup decoded nothing; serve path is broken")
+	}
+
+	// A second hit on the same prefix must not decode again.
+	if snap2, _, _ := m2.LongestPrefix(warm, true, routes[0].Ops); snap2 == nil {
+		t.Fatal("repeat lookup missed")
+	}
+	_, decoded2 := m2.PackStats()
+	if decoded2 != decoded {
+		t.Fatalf("repeat lookup re-decoded: %d -> %d", decoded, decoded2)
+	}
+
+	// Touching the remaining route materializes it too — served, not missed.
+	if snap3, n3, _ := m2.LongestPrefix(warm, true, routes[1].Ops); snap3 == nil || n3 != len(routes[1].Ops) {
+		t.Fatalf("second route lookup missed: n=%d", n3)
+	}
+	if _, decoded3 := m2.PackStats(); decoded3 <= decoded2 {
+		t.Fatalf("second route served without decoding: %d -> %d", decoded2, decoded3)
+	}
+}
+
+// TestPackLazyFlushKeepsPending: a warm memo that stores a new route and
+// flushes must fold still-encoded entries into the rewritten pack instead of
+// dropping them — a third process sees both the old and the new routes.
+func TestPackLazyFlushKeepsPending(t *testing.T) {
+	st := openStore(t)
+	oldRoute := launchScript().Append("tab", robotium.Click(corpus.TabButtonRef("Main", "Recent")))
+	newRoute := launchScript().Append("nav", robotium.Click(corpus.NavButtonRef("Main", "Detail")))
+
+	cold, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := session.NewSnapshotMemo(0)
+	m1.AttachStore(st)
+	s1 := session.New(cold, session.Options{AutoDismiss: true, Snapshots: m1})
+	if _, res, ok := s1.RunScript(oldRoute, session.PurposeReplay); !ok || res.Err != nil {
+		t.Fatalf("seed: ok=%v err=%v", ok, res.Err)
+	}
+	if err := m1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm process: executes only the new route (loading the pack lazily on
+	// its first probe), then flushes the dirtied pack.
+	warm, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := session.NewSnapshotMemo(0)
+	m2.AttachStore(st)
+	s2 := session.New(warm, session.Options{AutoDismiss: true, Snapshots: m2})
+	if _, res, ok := s2.RunScript(newRoute, session.PurposeReplay); !ok || res.Err != nil {
+		t.Fatalf("warm run: ok=%v err=%v", ok, res.Err)
+	}
+	if err := m2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third process: both routes must be servable from the rewritten pack.
+	third, err := corpus.BuildApp(demoApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := session.NewSnapshotMemo(0)
+	m3.AttachStore(st)
+	for _, route := range []robotium.Script{oldRoute, newRoute} {
+		if snap, n, _ := m3.LongestPrefix(third, true, route.Ops); snap == nil || n != len(route.Ops) {
+			t.Errorf("route %s missing after lazy flush: n=%d", route.Name, n)
+		}
+	}
+}

@@ -33,13 +33,36 @@ type SnapshotStore interface {
 // packState is the memo's view of one persisted snapshot pack: every durable
 // entry for one (app fingerprint, dialog policy) pair, stored as a single
 // artifact so a warm run pays one read per app instead of one per prefix.
-// Entries keep their snapshots encoded and decode lazily on first serve; the
-// decoded copy then lives in the LRU like any other entry. once guards the
-// one disk read; entries and dirty are guarded by the memo mutex.
+//
+// A loaded pack starts lazy: the load indexes the pack — per entry just the
+// routing key and the byte range of its framed body — without decoding a
+// single op or snapshot. An entry decodes on its first routing-index hit and
+// moves from pending to entries; prefixes a run never asks for stay encoded
+// for the process lifetime, which is what makes a warm persistent run
+// strictly cheaper than re-execution even when the pack holds far more
+// routes than the run replays. payload and rd are retained only while
+// pending entries remain; app is the installation pending snapshots will
+// bind to. once guards the one disk read; every other field is guarded by
+// the memo mutex.
 type packState struct {
 	once    sync.Once
 	entries map[memoKey]*packEntry
+	pending map[memoKey]int // key -> body offset in payload
+	payload []byte
+	rd      *binc.Reader
+	app     *apk.App
 	dirty   bool
+}
+
+// has reports whether the pack already holds key, decoded or still pending.
+// Callers deciding whether to add a durable entry must consult both tiers,
+// or a warm run would re-add (and re-dirty) every prefix it re-executes.
+func (p *packState) has(key memoKey) bool {
+	if _, ok := p.entries[key]; ok {
+		return true
+	}
+	_, ok := p.pending[key]
+	return ok
 }
 
 // packEntry is one durable prefix: the op list (the collision guard) plus
@@ -77,6 +100,8 @@ type SnapshotMemo struct {
 	diskHits    int
 	diskMisses  int
 	diskWrites  int
+	packIndexed int
+	packDecoded int
 
 	// hasDisk mirrors disk != nil for lock-free gating of the pack machinery
 	// on the hot lookup path; packCache resolves (app, policy) to its pack
@@ -196,6 +221,18 @@ func (m *SnapshotMemo) DiskStats() (hits, misses, writes int) {
 	return m.diskHits, m.diskMisses, m.diskWrites
 }
 
+// PackStats reports the lazy-decode behavior of loaded snapshot packs:
+// indexed counts entries registered by pack loads (routing key and byte
+// range only), decoded counts entries actually materialized — on a routing
+// hit, or by Flush folding leftovers into a rewrite. decoded stays well
+// under indexed whenever a run replays fewer routes than its packs hold;
+// that gap is the work lazy loading avoided.
+func (m *SnapshotMemo) PackStats() (indexed, decoded int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.packIndexed, m.packDecoded
+}
+
 // pack resolves the snapshot pack for an installed app, caching the result
 // per app pointer so the hot paths pay one lock-free map load instead of a
 // mutex round trip and a key render on every probe. Returns nil when no
@@ -214,10 +251,11 @@ func (m *SnapshotMemo) pack(app *apk.App, fp string, autoDismiss bool) *packStat
 
 // ensurePack returns the pack for (fp, autoDismiss), loading it from the
 // attached store on first touch. Returns nil when no store is attached. The
-// single disk read and decode run outside the memo mutex; loaded entries
-// merge under it, never displacing entries this process stored meanwhile.
-// Snapshots decode bound to the first app that touches the pack; serves for
-// other installs of the same build rebind at lookup time.
+// single disk read and index pass run outside the memo mutex; the index
+// merges under it, never displacing entries this process stored meanwhile.
+// Nothing is decoded here: entries materialize on their first routing hit,
+// bound to the app recorded below (serves for other installs of the same
+// build rebind at lookup time).
 func (m *SnapshotMemo) ensurePack(app *apk.App, fp string, autoDismiss bool) *packState {
 	m.mu.Lock()
 	disk := m.disk
@@ -238,22 +276,68 @@ func (m *SnapshotMemo) ensurePack(app *apk.App, fp string, autoDismiss bool) *pa
 		if !ok {
 			return
 		}
-		entries, err := decodePack(payload, fp, autoDismiss, app)
+		rd, pending, err := indexPack(payload, fp, autoDismiss)
 		if err != nil {
 			// A corrupt pack degrades to a silent miss for every prefix; the
 			// run re-executes, re-stores, and the next Flush repairs the file.
 			return
 		}
 		m.mu.Lock()
-		for k, e := range entries {
-			if _, exists := p.entries[k]; !exists {
-				p.entries[k] = e
-				m.bytesPinned += e.size
-			}
-		}
+		p.payload = payload
+		p.rd = rd
+		p.pending = pending
+		p.app = app
+		m.packIndexed += len(pending)
+		// The lazy tier pins only the encoded bytes; decoded snapshot sizes
+		// are added entry by entry as routing hits materialize them.
+		m.bytesPinned += len(payload)
 		m.mu.Unlock()
 	})
 	return p
+}
+
+// decodePendingLocked materializes one pending entry, moving it from the
+// encoded tier to entries. Caller holds m.mu. A decode failure means bytes
+// past the container checksum are inconsistent with the index — effectively
+// impossible short of a codec bug — and poisons the shared reader, so the
+// whole lazy tier is dropped: every remaining pending prefix reads as a
+// miss, re-executes, and the next Flush rewrites the pack.
+func (m *SnapshotMemo) decodePendingLocked(p *packState, key memoKey) *packEntry {
+	if p.rd == nil {
+		// The lazy tier was already dropped by an earlier decode failure.
+		return nil
+	}
+	off := p.pending[key]
+	r := p.rd
+	r.Seek(off)
+	ops := make([]robotium.Op, 0, key.n)
+	for j := 0; j < key.n && r.Err() == nil; j++ {
+		ops = append(ops, robotium.Op{
+			Kind:      robotium.OpKind(r.Uvarint()),
+			Ref:       r.Str(),
+			Value:     r.Str(),
+			Activity:  r.Str(),
+			Fragment:  r.Str(),
+			Container: r.Str(),
+		})
+	}
+	snap, err := device.DecodeSnapshotFrom(r, p.app)
+	if err != nil || r.Err() != nil {
+		m.bytesPinned -= len(p.payload)
+		p.pending, p.payload, p.rd = nil, nil, nil
+		return nil
+	}
+	e := &packEntry{ops: ops, snap: snap, size: snap.SizeEstimate()}
+	p.entries[key] = e
+	delete(p.pending, key)
+	m.bytesPinned += e.size
+	m.packDecoded++
+	if len(p.pending) == 0 {
+		// Fully materialized: release the encoded payload and its reader.
+		m.bytesPinned -= len(p.payload)
+		p.pending, p.payload, p.rd = nil, nil, nil
+	}
+	return e
 }
 
 // LongestPrefix finds the longest memoized prefix of ops for the given app
@@ -301,7 +385,15 @@ func (m *SnapshotMemo) LongestPrefix(app *apk.App, autoDismiss bool, ops []robot
 			}
 		}
 		if p != nil {
-			if e, ok := p.entries[key]; ok && opsEqual(e.ops, ops[:n]) {
+			e, ok := p.entries[key]
+			if !ok && p.pending != nil {
+				if _, pend := p.pending[key]; pend {
+					// First routing hit on an encoded entry: decode it now.
+					e = m.decodePendingLocked(p, key)
+					ok = e != nil
+				}
+			}
+			if ok && opsEqual(e.ops, ops[:n]) {
 				m.diskHits++
 				snap := e.snap
 				m.mu.Unlock()
@@ -362,7 +454,7 @@ func (m *SnapshotMemo) store(app *apk.App, autoDismiss bool, hash uint64, ops []
 	if persist && m.hasDisk.Load() && !snap.Crashed() {
 		if p := m.pack(app, fp, autoDismiss); p != nil {
 			m.mu.Lock()
-			if _, exists := p.entries[key]; !exists {
+			if !p.has(key) {
 				// Encoding is deferred to Flush, where the whole pack shares
 				// one string table; the run only pins the snapshot pointer.
 				e := &packEntry{ops: opsCopy, snap: snap, size: snap.SizeEstimate()}
@@ -403,7 +495,7 @@ func (m *SnapshotMemo) Promote(app *apk.App, autoDismiss bool, hash uint64, ops 
 		return
 	}
 	m.mu.Lock()
-	if _, exists := p.entries[key]; !exists {
+	if !p.has(key) {
 		p.entries[key] = &packEntry{ops: e.ops, snap: e.snap, size: e.size}
 		p.dirty = true
 		m.bytesPinned += e.size
@@ -437,6 +529,12 @@ func (m *SnapshotMemo) Flush() error {
 	var firstErr error
 	for _, j := range jobs {
 		m.mu.Lock()
+		// A dirty pack rewrites the whole artifact, so entries still encoded
+		// must fold in or the rewrite would drop them. Clean packs never get
+		// here — their pending tier stays encoded for the process lifetime.
+		for k := range j.p.pending {
+			m.decodePendingLocked(j.p, k)
+		}
 		keys := make([]memoKey, 0, len(j.p.entries))
 		for k := range j.p.entries {
 			keys = append(keys, k)
@@ -501,15 +599,19 @@ func packKey(fp string, autoDismiss bool) string {
 }
 
 // encodePack frames a snapshot pack: an entry count, then per entry the
-// chained hash (the routing index), the op list (the collision guard —
-// lookups verify it matches the requested ops exactly) and the snapshot,
-// all behind one shared string table.
+// chained hash (the routing index), the op count, the byte length of the
+// entry body, and the body itself — the op list (the collision guard:
+// lookups verify it matches the requested prefix exactly) followed by the
+// snapshot — all behind one shared string table. The body length is what a
+// warm load's index pass skips by; string interning is unaffected because
+// the table sits ahead of the body and refs are indices into it.
 func encodePack(keys []memoKey, entries []*packEntry) []byte {
 	w := binc.NewWriter()
 	w.Int(len(entries))
 	for i, e := range entries {
 		w.Uvarint(keys[i].hash)
 		w.Int(len(e.ops))
+		mark := w.Mark()
 		for _, op := range e.ops {
 			w.Uvarint(uint64(op.Kind))
 			w.Str(op.Ref)
@@ -519,52 +621,45 @@ func encodePack(keys []memoKey, entries []*packEntry) []byte {
 			w.Str(op.Container)
 		}
 		device.EncodeSnapshotTo(w, e.snap)
+		w.InsertUvarint(mark, uint64(w.Mark()-mark))
 	}
 	return w.Bytes()
 }
 
-// decodePack parses a pack payload into its entry map in one pass —
-// snapshots bind to the given app, strings intern through the pack-wide
-// table. The stored hash is merely a routing index: nothing is served until
-// an entry's ops compare equal to the requested prefix, so a payload whose
-// hash and ops disagree can never produce a wrong serve — at worst it reads
-// as a miss. Any corruption (possible only past the container checksum)
-// fails the whole pack; the caller treats that as every-prefix-missing.
-func decodePack(data []byte, fp string, autoDismiss bool, app *apk.App) (map[memoKey]*packEntry, error) {
+// indexPack walks a pack payload and records, per entry, the routing key and
+// the offset of its framed body — no ops or snapshots are decoded. The frame
+// lengths must tile the payload exactly, so truncation or trailing garbage
+// (possible only past the container checksum) fails the whole pack and the
+// caller treats it as every-prefix-missing. The returned reader is retained
+// for decodePendingLocked to seek into. The stored hash is merely a routing
+// index: nothing is ever served until an entry's decoded ops compare equal
+// to the requested prefix, so a payload whose hash and ops disagree can
+// never produce a wrong serve — at worst it reads as a miss.
+func indexPack(data []byte, fp string, autoDismiss bool) (*binc.Reader, map[memoKey]int, error) {
 	r, err := binc.NewReader(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	count := r.Int()
-	entries := make(map[memoKey]*packEntry, count)
+	pending := make(map[memoKey]int, count)
 	for i := 0; i < count && r.Err() == nil; i++ {
 		h := r.Uvarint()
 		n := r.Int()
-		ops := make([]robotium.Op, 0, n)
-		for j := 0; j < n && r.Err() == nil; j++ {
-			ops = append(ops, robotium.Op{
-				Kind:      robotium.OpKind(r.Uvarint()),
-				Ref:       r.Str(),
-				Value:     r.Str(),
-				Activity:  r.Str(),
-				Fragment:  r.Str(),
-				Container: r.Str(),
-			})
+		bodyLen := r.Int()
+		off := r.Pos()
+		r.Skip(bodyLen)
+		key := memoKey{fp: fp, autoDismiss: autoDismiss, n: n, hash: h}
+		if _, dup := pending[key]; !dup && r.Err() == nil {
+			pending[key] = off
 		}
-		snap, err := device.DecodeSnapshotFrom(r, app)
-		if err != nil {
-			return nil, err
-		}
-		key := memoKey{fp: fp, autoDismiss: autoDismiss, n: len(ops), hash: h}
-		entries[key] = &packEntry{ops: ops, snap: snap, size: snap.SizeEstimate()}
 	}
 	if err := r.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := r.Done(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return entries, nil
+	return r, pending, nil
 }
 
 func opsEqual(a, b []robotium.Op) bool {

@@ -8,7 +8,6 @@ import (
 	"fragdroid/internal/apk"
 	"fragdroid/internal/binc"
 	"fragdroid/internal/callgraph"
-	"fragdroid/internal/jdcore"
 )
 
 // The extraction payload is a binc encoding of everything the static phase
@@ -107,11 +106,8 @@ func decodeLocation(r *binc.Reader) WidgetLocation {
 // EncodeExtraction serializes everything the static phase derived from the
 // app, so a warm load can skip Extract entirely.
 func EncodeExtraction(ex *Extraction) ([]byte, error) {
-	model, err := ex.Model.MarshalJSON()
-	if err != nil {
-		return nil, fmt.Errorf("statics: encode extraction: %w", err)
-	}
-	graph, err := ex.Graph.Encode()
+	model := aftm.EncodeModel(ex.Model)
+	graph, err := ex.Graph().Encode()
 	if err != nil {
 		return nil, fmt.Errorf("statics: encode extraction: %w", err)
 	}
@@ -173,10 +169,10 @@ func EncodeExtraction(ex *Extraction) ([]byte, error) {
 
 // DecodeExtraction reconstructs an Extraction from EncodeExtraction output,
 // attached to app (which must be the same bundle the extraction was computed
-// from — the artifact store keys both by the same spec). The jdcore lowering
-// is recomputed, the AFTM and call graph are decoded from their embedded
-// encodings, and every map comes back make-initialized, mirroring Extract's
-// fields.
+// from — the artifact store keys both by the same spec). The AFTM is decoded
+// from its embedded encoding; the jdcore lowering and the call graph are
+// deferred to their accessors' first use (warm replay needs neither), and
+// every map comes back make-initialized, mirroring Extract's fields.
 func DecodeExtraction(data []byte, app *apk.App) (*Extraction, error) {
 	r, err := binc.NewReader(data)
 	if err != nil {
@@ -187,19 +183,16 @@ func DecodeExtraction(data []byte, app *apk.App) (*Extraction, error) {
 	if r.Err() != nil {
 		return nil, fmt.Errorf("statics: decode extraction: %w", r.Err())
 	}
-	model, err := aftm.UnmarshalModel(modelBlob)
-	if err != nil {
-		return nil, fmt.Errorf("statics: decode extraction: %w", err)
-	}
-	graph, err := callgraph.Decode(graphBlob, app.Program)
+	model, err := aftm.DecodeModel(modelBlob)
 	if err != nil {
 		return nil, fmt.Errorf("statics: decode extraction: %w", err)
 	}
 	ex := &Extraction{
-		App:                 app,
-		Java:                jdcore.Decompile(app.Program),
-		Model:               model,
-		Graph:               graph,
+		App:   app,
+		Model: model,
+		// Copied, not aliased: r.Blob() slices the full payload, and parking
+		// an alias would pin every section of it until the graph decodes.
+		graphBlob:           append([]byte(nil), graphBlob...),
 		EffectiveActivities: r.StrSlice(),
 		EffectiveFragments:  r.StrSlice(),
 	}

@@ -60,15 +60,15 @@ func TestExtractionCodecRoundTrip(t *testing.T) {
 		check("Model nodes", got.Model.Nodes(), want.Model.Nodes())
 
 		// The call graph is compared through its public surface.
-		check("Graph nodes", got.Graph.Nodes(), want.Graph.Nodes())
-		check("Graph edges", got.Graph.Edges(), want.Graph.Edges())
-		check("Graph launcher", got.Graph.Launcher(), want.Graph.Launcher())
-		check("Graph activities", got.Graph.Activities(), want.Graph.Activities())
-		check("Graph fragments", got.Graph.Fragments(), want.Graph.Fragments())
-		check("Graph receivers", got.Graph.Receivers(), want.Graph.Receivers())
-		// The Java view is recomputed on decode, not stored; it must still
-		// agree with a fresh decompilation.
-		check("Java class names", got.Java.Names(), want.Java.Names())
+		check("Graph nodes", got.Graph().Nodes(), want.Graph().Nodes())
+		check("Graph edges", got.Graph().Edges(), want.Graph().Edges())
+		check("Graph launcher", got.Graph().Launcher(), want.Graph().Launcher())
+		check("Graph activities", got.Graph().Activities(), want.Graph().Activities())
+		check("Graph fragments", got.Graph().Fragments(), want.Graph().Fragments())
+		check("Graph receivers", got.Graph().Receivers(), want.Graph().Receivers())
+		// The Java view is not stored; the accessor recomputes it on first
+		// use and it must agree with a fresh decompilation.
+		check("Java class names", got.Java().Names(), want.Java().Names())
 	}
 }
 

@@ -38,7 +38,7 @@ func TestOwnersOfSorted(t *testing.T) {
 // effective sets.
 func TestExtractionReach(t *testing.T) {
 	ex := demoExtraction(t)
-	if ex.Graph == nil || ex.StaticReach == nil || ex.LauncherReach == nil {
+	if ex.Graph() == nil || ex.StaticReach == nil || ex.LauncherReach == nil {
 		t.Fatal("Extract must populate Graph, StaticReach and LauncherReach")
 	}
 	// Every effective activity is a forced-start root, hence in the ceiling.

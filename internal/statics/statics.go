@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"fragdroid/internal/aftm"
 	"fragdroid/internal/apk"
@@ -131,8 +132,14 @@ type InputWidget struct {
 
 // Extraction bundles every artifact of the static phase.
 type Extraction struct {
-	App  *apk.App
-	Java *jdcore.Program
+	App *apk.App
+	// java is the decompiled source view. Extract computes it eagerly (the
+	// static phase reads it immediately); decoded extractions leave it nil
+	// and the Java accessor decompiles on first use — the warm replay path
+	// never touches source, so eager decompilation there was pure decode
+	// overhead.
+	java     *jdcore.Program
+	javaOnce sync.Once
 	// Model is the initial AFTM.
 	Model *aftm.Model
 	// EffectiveActivities and EffectiveFragments are the filtered node sets
@@ -167,8 +174,14 @@ type Extraction struct {
 	SensitiveSites map[string][]string
 	// LayoutsOf maps a component class to the layout names it inflates.
 	LayoutsOf map[string][]string
-	// Graph is the interprocedural whole-program call/transition graph.
-	Graph *callgraph.Graph
+	// graph is the interprocedural whole-program call/transition graph,
+	// populated eagerly by Extract and lazily by the Graph accessor for
+	// store-loaded extractions (graphBlob holds the encoded form then).
+	// The warm replay path never consults the graph, so decoding it on
+	// every artifact load would tax the common case for nothing.
+	graph     *callgraph.Graph
+	graphOnce sync.Once
+	graphBlob []byte
 	// StaticReach is the attainable-coverage ceiling: reachability with the
 	// launcher plus every effective Activity as roots, modelling the
 	// explorer's forced empty-Intent starts (§VI-C). Every component or
@@ -179,11 +192,44 @@ type Extraction struct {
 	LauncherReach *callgraph.Reach
 }
 
+// Java returns the decompiled source view, decompiling on first use when the
+// extraction came from the artifact store (Extract populates it up front).
+func (ex *Extraction) Java() *jdcore.Program {
+	ex.javaOnce.Do(func() {
+		if ex.java == nil {
+			ex.java = jdcore.Decompile(ex.App.Program)
+		}
+	})
+	return ex.java
+}
+
+// Graph returns the interprocedural whole-program call/transition graph.
+// Extract populates it up front; an extraction loaded from the artifact
+// store decodes its embedded graph blob on the first call instead, falling
+// back to a full rebuild from the program if the blob does not decode (a
+// rebuild is always correct — the graph is a deterministic function of the
+// app — just slower).
+func (ex *Extraction) Graph() *callgraph.Graph {
+	ex.graphOnce.Do(func() {
+		blob := ex.graphBlob
+		ex.graphBlob = nil // decoded (or rebuilt) below; don't pin the bytes
+		if ex.graph != nil {
+			return
+		}
+		if g, err := callgraph.Decode(blob, ex.App.Program); err == nil {
+			ex.graph = g
+			return
+		}
+		ex.graph = callgraph.Build(ex.App, ex.Java())
+	})
+	return ex.graph
+}
+
 // Extract runs the full static phase on a loaded app.
 func Extract(app *apk.App) (*Extraction, error) {
 	ex := &Extraction{
 		App:                 app,
-		Java:                jdcore.Decompile(app.Program),
+		java:                jdcore.Decompile(app.Program),
 		Model:               aftm.New(),
 		UsesFragmentManager: make(map[string]bool),
 		SupportFM:           make(map[string]bool),
@@ -236,14 +282,14 @@ func Extract(app *apk.App) (*Extraction, error) {
 	ex.InputWidgets = discoverInputs(app, ex.ResDeps)
 
 	// Sensitive-API sites across effective components.
-	ex.SensitiveSites = sensitiveSites(ex.Java, app.Program,
+	ex.SensitiveSites = sensitiveSites(ex.Java(), app.Program,
 		ex.EffectiveActivities, ex.EffectiveFragments)
 
 	// Whole-program call graph and the two reachability fixpoints: the
 	// launcher-only view and the forced-start ceiling.
-	ex.Graph = callgraph.Build(app, ex.Java)
-	ex.LauncherReach = ex.Graph.Reach(ex.Graph.LauncherRoots())
-	ex.StaticReach = ex.Graph.Reach(ex.Graph.ForcedRoots(ex.EffectiveActivities))
+	ex.graph = callgraph.Build(app, ex.Java())
+	ex.LauncherReach = ex.graph.Reach(ex.graph.LauncherRoots())
+	ex.StaticReach = ex.graph.Reach(ex.graph.ForcedRoots(ex.EffectiveActivities))
 
 	return ex, nil
 }
@@ -541,7 +587,7 @@ func (ex *Extraction) buildEdges(activities, fragments []string, entry string) e
 
 	scan := func(owner aftm.Node, classes []string) error {
 		for _, cn := range classes {
-			jc := ex.Java.Class(cn)
+			jc := ex.Java().Class(cn)
 			if jc == nil {
 				continue
 			}
