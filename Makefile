@@ -44,17 +44,26 @@ bench:
 # evaluation, and fleet_speedup_2/_4 are the one-device explorer over the
 # two- and four-device fleets (≈1.0 on a single-core host: the fleet trades
 # idle cores for warm snapshots; host_cpus records GOMAXPROCS for reading
-# the curve). BENCHTIME trades accuracy for time (CI uses a short count as a
-# smoke signal; the checked-in BENCH_PR9.json comes from BENCHTIME=30x).
+# the curve).
+#
+# On top of the microbenchmarks, the target streams a STUDY_N-app generated
+# family through `fragstudy -corpus family -stream` (cache off: pure
+# generate-build-scan-release throughput, no disk tier) and merges the
+# resulting record in, adding the FamilyStudyStream row (ns_per_op is
+# per-app wall time) and the top-level apps_per_sec / peak_heap_bytes
+# numbers. BENCHTIME trades accuracy for time (CI uses a short count and a
+# small STUDY_N as a smoke signal; the checked-in BENCH_PR10.json comes from
+# BENCHTIME=10x, STUDY_N=10000).
 BENCHTIME ?= 10x
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
+STUDY_N ?= 10000
 
 # bench-diff compares two bench-json records benchmark by benchmark:
 # per-benchmark ns/op, B/op and allocs/op deltas plus both records' derived
-# ratios. Defaults compare the current perf record against the previous one
-# (BENCH_PR6.json, the last PR whose record used this schema); CI reuses the
-# script with a --min-ratio floor as a parity gate on smoke runs.
-BENCH_DIFF_OLD ?= BENCH_PR6.json
+# ratios. Defaults compare the current perf record against the previous one;
+# CI reuses the script with --min-ratio and --min-rel floors as parity gates
+# on smoke runs.
+BENCH_DIFF_OLD ?= BENCH_PR9.json
 BENCH_DIFF_NEW ?= $(BENCH_JSON)
 
 bench-diff:
@@ -122,5 +131,9 @@ bench-json:
 			printf ",\n  \"fleet_speedup_2\": %.2f", ns["FleetExplore1"] / ns["FleetExplore2"]; \
 		if (ns["FleetExplore1"] > 0 && ns["FleetExplore4"] > 0) \
 			printf ",\n  \"fleet_speedup_4\": %.2f", ns["FleetExplore1"] / ns["FleetExplore4"]; \
-		print "\n}" }' > $(BENCH_JSON)
+		print "\n}" }' > $(BENCH_JSON).micro
+	$(GO) run ./cmd/fragstudy -corpus family -n $(STUDY_N) -stream -cache off \
+		-streamjson $(BENCH_JSON).stream
+	python3 scripts/bench_merge.py $(BENCH_JSON).micro $(BENCH_JSON).stream > $(BENCH_JSON)
+	rm -f $(BENCH_JSON).micro $(BENCH_JSON).stream
 	@cat $(BENCH_JSON)

@@ -1,14 +1,22 @@
 // Command appgen writes the synthetic application corpus to disk as .sapk
-// archives: the demo app, the 15 Table I apps, or the 217-app study corpus.
+// archives: the demo app, the 15 Table I apps, the 217-app study corpus, or
+// an arbitrarily large generated app family.
 //
 // Usage:
 //
-//	appgen -out ./apps                 # demo + the 15 paper apps
-//	appgen -out ./apps -corpus study   # the 217-app study corpus
-//	appgen -out ./apps -corpus demo    # just the demo app
+//	appgen -out ./apps                        # demo + the 15 paper apps
+//	appgen -out ./apps -corpus study          # the 217-app study corpus
+//	appgen -out ./apps -corpus demo           # just the demo app
+//	appgen -out ./apps -corpus family -n 500  # 500 family apps + manifest JSON
+//
+// The family corpus is generated lazily from (-n, -seed); alongside the
+// archives it writes family_manifest.json recording every member's package,
+// archive file and scenario axes (packed, no-fragments, deeplink,
+// receiver-entry, popup).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +40,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("appgen", flag.ContinueOnError)
 	var (
 		out       = fs.String("out", "apps", "output directory")
-		which     = fs.String("corpus", "paper", "which corpus: demo, paper, study")
-		seed      = fs.Int64("seed", 1, "seed for the study corpus shapes")
+		which     = fs.String("corpus", "paper", "which corpus: demo, paper, study, family")
+		seed      = fs.Int64("seed", 1, "seed for the study/family corpus shapes")
+		famN      = fs.Int("n", 100, "family corpus size (with -corpus family)")
 		quiet     = fs.Bool("q", false, "suppress per-file output")
 		trace     = fs.String("trace", "", "boot each generated app once and write the launch traces as JSON to this file (\"-\" for stdout)")
 		cacheFlag = fs.String("cache", "auto", "persistent artifact store for -trace smoke boots: auto, off, or a directory")
@@ -53,17 +62,27 @@ func run(args []string) error {
 		return err
 	}
 
-	var specs []*corpus.AppSpec
+	// The corpus is a lazy source, so the family case generates each spec as
+	// it is written instead of materializing -n specs up front.
+	var src corpus.SpecSource
+	var fam *corpus.Family
 	switch *which {
 	case "demo":
-		specs = []*corpus.AppSpec{corpus.DemoSpec()}
+		src = corpus.SliceSource{corpus.DemoSpec()}
 	case "paper":
-		specs = append(specs, corpus.DemoSpec())
+		specs := []*corpus.AppSpec{corpus.DemoSpec()}
 		for _, row := range corpus.PaperRows() {
 			specs = append(specs, corpus.PaperSpec(row))
 		}
+		src = corpus.SliceSource(specs)
 	case "study":
-		specs = corpus.StudySpecs(*seed)
+		src = corpus.SliceSource(corpus.StudySpecs(*seed))
+	case "family":
+		if *famN < 1 {
+			return fmt.Errorf("-corpus family needs -n >= 1, got %d", *famN)
+		}
+		fam = corpus.NewFamily(*famN, *seed)
+		src = fam
 	default:
 		return fmt.Errorf("unknown corpus %q", *which)
 	}
@@ -72,7 +91,12 @@ func run(args []string) error {
 	if *trace != "" {
 		buf = &session.TraceBuffer{}
 	}
-	for _, spec := range specs {
+	var manifest *familyManifest
+	if fam != nil {
+		manifest = &familyManifest{Corpus: "family", N: *famN, Seed: *seed}
+	}
+	for i := 0; i < src.Len(); i++ {
+		spec := src.At(i)
 		arch, err := corpus.BuildArchive(spec)
 		if err != nil {
 			return err
@@ -80,6 +104,13 @@ func run(args []string) error {
 		path := filepath.Join(*out, spec.Package+".sapk")
 		if err := writeArchive(arch, path); err != nil {
 			return err
+		}
+		if manifest != nil {
+			manifest.Apps = append(manifest.Apps, familyManifestApp{
+				Package: spec.Package,
+				File:    filepath.Base(path),
+				Axes:    fam.Axes(i),
+			})
 		}
 		if buf != nil {
 			if err := smokeBoot(cache, spec, buf); err != nil {
@@ -90,7 +121,20 @@ func run(args []string) error {
 			fmt.Printf("wrote %s (%d entries)\n", path, arch.Len())
 		}
 	}
-	fmt.Printf("%d app archives written to %s\n", len(specs), *out)
+	if manifest != nil {
+		path := filepath.Join(*out, "family_manifest.json")
+		data, err := json.MarshalIndent(manifest, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s (%d apps)\n", path, len(manifest.Apps))
+		}
+	}
+	fmt.Printf("%d app archives written to %s\n", src.Len(), *out)
 	if buf == nil {
 		return nil
 	}
@@ -103,6 +147,23 @@ func run(args []string) error {
 		return nil
 	}
 	return os.WriteFile(*trace, append(data, '\n'), 0o644)
+}
+
+// familyManifest is the JSON sidecar written next to a generated family:
+// the generation parameters plus, per member, its package, archive file and
+// scenario axes — enough for downstream tooling to select apps by axis
+// without re-deriving the generator's assignment.
+type familyManifest struct {
+	Corpus string              `json:"corpus"`
+	N      int                 `json:"n"`
+	Seed   int64               `json:"seed"`
+	Apps   []familyManifestApp `json:"apps"`
+}
+
+type familyManifestApp struct {
+	Package string   `json:"package"`
+	File    string   `json:"file"`
+	Axes    []string `json:"axes,omitempty"`
 }
 
 // smokeBoot launches a generated app once in a traced single-test-case

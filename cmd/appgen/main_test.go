@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"fragdroid/internal/apk"
+	"fragdroid/internal/corpus"
 )
 
 // TestMain points the default "auto" store at a throwaway directory so tests
@@ -67,6 +70,70 @@ func TestRunStudyCorpus(t *testing.T) {
 	}
 	if len(entries) != 217 {
 		t.Fatalf("wrote %d study archives, want 217", len(entries))
+	}
+}
+
+// TestRunFamilyCorpus drives -corpus family end to end: N archives land on
+// disk, every one loads through the real pipeline, and the manifest JSON
+// names each member with its axes, consistent with the generator.
+func TestRunFamilyCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-corpus", "family", "-n", "30", "-seed", "7", "-q"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "family_manifest.json"))
+	if err != nil {
+		t.Fatalf("family manifest not written: %v", err)
+	}
+	var manifest struct {
+		Corpus string `json:"corpus"`
+		N      int    `json:"n"`
+		Seed   int64  `json:"seed"`
+		Apps   []struct {
+			Package string   `json:"package"`
+			File    string   `json:"file"`
+			Axes    []string `json:"axes"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(data, &manifest); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if manifest.Corpus != "family" || manifest.N != 30 || manifest.Seed != 7 || len(manifest.Apps) != 30 {
+		t.Fatalf("manifest header off: %+v", manifest)
+	}
+	fam := corpus.NewFamily(30, 7)
+	axisSeen := false
+	for i, a := range manifest.Apps {
+		if want := fam.At(i).Package; a.Package != want {
+			t.Fatalf("manifest app %d is %s, want %s", i, a.Package, want)
+		}
+		if !reflect.DeepEqual(a.Axes, fam.Axes(i)) {
+			t.Fatalf("manifest axes of %s = %v, want %v", a.Package, a.Axes, fam.Axes(i))
+		}
+		if len(a.Axes) > 0 {
+			axisSeen = true
+		}
+		archive, err := os.ReadFile(filepath.Join(dir, a.File))
+		if err != nil {
+			t.Fatalf("archive %s missing: %v", a.File, err)
+		}
+		if _, err := apk.LoadBytes(archive); err != nil {
+			t.Errorf("%s does not load: %v", a.File, err)
+		}
+	}
+	if !axisSeen {
+		t.Error("no manifest entry carries an axis; generator axes not recorded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 31 { // 30 archives + the manifest
+		t.Fatalf("wrote %d files, want 31", len(entries))
+	}
+
+	if err := run([]string{"-out", t.TempDir(), "-corpus", "family", "-n", "0"}); err == nil {
+		t.Error("-corpus family -n 0: want error")
 	}
 }
 

@@ -6,6 +6,8 @@
 //
 //	fragstudy                   # the 217-app fragment-usage study
 //	fragstudy -parallel 8       # same study, 8 apps analyzed concurrently
+//	fragstudy -corpus family -n 10000 -stream  # corpus-scale streamed study
+//	fragstudy -stream -streamjson s.json       # + throughput/peak-heap record
 //	fragstudy -table1           # the Table I coverage run (15 apps)
 //	fragstudy -table2           # the Table II sensitive-operations matrix
 //	fragstudy -baselines        # FragDroid vs Activity-level MBT vs Monkey
@@ -24,6 +26,16 @@
 // writes the result as JSON. -strategy reruns the table evaluations under a
 // different registered engine (Table II and -metrics work for any strategy;
 // Table I, -gap and -ceiling are explorer-only).
+//
+// -corpus selects the dataset corpus behind the default study and -lint:
+// "study" is the paper's 217-app dataset, "family" a generated app family of
+// -n members (deterministic in -seed). -stream switches either mode to the
+// bounded-memory streaming pipeline: at most -window apps are in flight (0
+// picks a window from the stage limits), each folds into the aggregate in
+// dataset order and is released immediately, so peak heap is O(window), not
+// O(corpus) — with results bit-identical to the positional run. -streamjson
+// also writes the throughput record (apps/sec, peak heap, host CPUs) in the
+// bench-json schema scripts/bench_diff.py understands.
 //
 // -parallel applies to every mode (it must be at least 1) and defaults to
 // the machine's CPU count; results are deterministic and identical to a
@@ -45,6 +57,7 @@ import (
 	"strings"
 
 	"fragdroid/internal/artifact"
+	"fragdroid/internal/corpus"
 	"fragdroid/internal/device"
 	"fragdroid/internal/report"
 	"fragdroid/internal/session"
@@ -61,29 +74,34 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fragstudy", flag.ContinueOnError)
 	var (
-		seed     = fs.Int64("seed", 1, "study corpus seed")
-		parallel = fs.Int("parallel", runtime.NumCPU(), "number of apps analyzed concurrently")
-		table1   = fs.Bool("table1", false, "run the Table I coverage evaluation")
-		table2   = fs.Bool("table2", false, "run the Table II sensitive-operations evaluation")
-		baselns  = fs.Bool("baselines", false, "run the FragDroid vs Activity-level MBT vs Monkey comparison")
-		compare  = fs.String("compare", "", "run the strategy bake-off over this comma-separated strategy list (\"all\" for every registered strategy)")
-		cmpJSON  = fs.String("comparejson", "", "with -compare: also write the bake-off result as JSON to this file")
-		budget   = fs.Int("budget", 400, "with -compare: full per-run budget (test cases / events)")
-		seeds    = fs.Int("seeds", 3, "with -compare: number of seeds per strategy (base seed is -seed)")
-		stratSel = fs.String("strategy", "explorer", "exploration strategy driving the table evaluations (see internal/strategy)")
-		gap      = fs.Bool("gap", false, "run the static-vs-dynamic sensitive-site comparison")
-		ceiling  = fs.Bool("ceiling", false, "run the static reachability ceiling vs dynamic confirmation table")
-		directed = fs.Bool("directed", false, "run the directed-vs-undirected targeted study and the gap classification")
-		dirJSON  = fs.String("directedjson", "", "with -directed: also write the bench summary as JSON to this file")
-		lintRun  = fs.Bool("lint", false, "run fraglint across the dataset and print the summary")
-		metrics  = fs.Bool("metrics", false, "with -table1/-table2: also print the per-app run-metrics table")
-		snaps    = fs.String("snapshots", "on", "device snapshot memoization for evaluation runs: on, off, or a memo capacity")
-		devices  = fs.String("devices", "auto", "in-process device fleet size per app: auto (GOMAXPROCS, capped at 8) or a count")
-		trace    = fs.String("trace", "", "write the structured trace events of evaluation runs as JSON to this file (\"-\" for stdout)")
-		cacheDir = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file after the run")
-		interp   = fs.String("interp", device.DefaultInterp(), "interpreter backend for app code: ir (precompiled instruction programs) or classic (tree-walking smali)")
+		seed       = fs.Int64("seed", 1, "study corpus seed")
+		parallel   = fs.Int("parallel", runtime.NumCPU(), "number of apps analyzed concurrently")
+		corpusSel  = fs.String("corpus", "study", "dataset corpus for the default study and -lint: study (217 apps) or family (generated, -n apps)")
+		famN       = fs.Int("n", 10000, "family corpus size (with -corpus family)")
+		stream     = fs.Bool("stream", false, "run the study/-lint as a streaming bounded-memory pipeline")
+		window     = fs.Int("window", 0, "with -stream: in-flight app window (0 = derive from the stage limits)")
+		streamJSON = fs.String("streamjson", "", "with -stream: write the throughput/peak-heap record as bench-json to this file")
+		table1     = fs.Bool("table1", false, "run the Table I coverage evaluation")
+		table2     = fs.Bool("table2", false, "run the Table II sensitive-operations evaluation")
+		baselns    = fs.Bool("baselines", false, "run the FragDroid vs Activity-level MBT vs Monkey comparison")
+		compare    = fs.String("compare", "", "run the strategy bake-off over this comma-separated strategy list (\"all\" for every registered strategy)")
+		cmpJSON    = fs.String("comparejson", "", "with -compare: also write the bake-off result as JSON to this file")
+		budget     = fs.Int("budget", 400, "with -compare: full per-run budget (test cases / events)")
+		seeds      = fs.Int("seeds", 3, "with -compare: number of seeds per strategy (base seed is -seed)")
+		stratSel   = fs.String("strategy", "explorer", "exploration strategy driving the table evaluations (see internal/strategy)")
+		gap        = fs.Bool("gap", false, "run the static-vs-dynamic sensitive-site comparison")
+		ceiling    = fs.Bool("ceiling", false, "run the static reachability ceiling vs dynamic confirmation table")
+		directed   = fs.Bool("directed", false, "run the directed-vs-undirected targeted study and the gap classification")
+		dirJSON    = fs.String("directedjson", "", "with -directed: also write the bench summary as JSON to this file")
+		lintRun    = fs.Bool("lint", false, "run fraglint across the dataset and print the summary")
+		metrics    = fs.Bool("metrics", false, "with -table1/-table2: also print the per-app run-metrics table")
+		snaps      = fs.String("snapshots", "on", "device snapshot memoization for evaluation runs: on, off, or a memo capacity")
+		devices    = fs.String("devices", "auto", "in-process device fleet size per app: auto (GOMAXPROCS, capped at 8) or a count")
+		trace      = fs.String("trace", "", "write the structured trace events of evaluation runs as JSON to this file (\"-\" for stdout)")
+		cacheDir   = fs.String("cache", "auto", "persistent artifact store: auto, off, or a directory")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file after the run")
+		interp     = fs.String("interp", device.DefaultInterp(), "interpreter backend for app code: ir (precompiled instruction programs) or classic (tree-walking smali)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,12 +109,31 @@ func run(args []string) error {
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", *parallel)
 	}
+	if *streamJSON != "" && !*stream {
+		return fmt.Errorf("-streamjson needs -stream")
+	}
 	if err := device.SetDefaultInterp(*interp); err != nil {
 		return err
 	}
 	cache, err := openCache(*cacheDir)
 	if err != nil {
 		return err
+	}
+	// The study configuration shared by the default study and -lint; -corpus
+	// family swaps the 217-app dataset for a lazy generated source.
+	scfg := report.StudyConfig{
+		Seed: *seed, Parallel: *parallel, Cache: cache,
+		Stream: *stream, Window: *window,
+	}
+	switch *corpusSel {
+	case "study":
+	case "family":
+		if *famN < 1 {
+			return fmt.Errorf("-corpus family needs -n >= 1, got %d", *famN)
+		}
+		scfg.Source = corpus.NewFamily(*famN, *seed)
+	default:
+		return fmt.Errorf("unknown corpus %q (want study or family)", *corpusSel)
 	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -132,7 +169,7 @@ func run(args []string) error {
 	}
 
 	if *lintRun {
-		s, err := report.RunLintStudy(report.StudyConfig{Seed: *seed, Parallel: *parallel, Cache: cache})
+		s, err := report.RunLintStudy(scfg)
 		if err != nil {
 			return err
 		}
@@ -231,12 +268,58 @@ func run(args []string) error {
 		return nil
 	}
 
-	res, err := report.RunStudyWith(report.StudyConfig{Seed: *seed, Parallel: *parallel, Cache: cache})
+	if *stream {
+		res, st, err := report.RunStudyStreamed(scfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.RenderStudy(res))
+		fmt.Println(report.RenderStreamStats(st))
+		return writeStreamBench(*streamJSON, st)
+	}
+	res, err := report.RunStudyWith(scfg)
 	if err != nil {
 		return err
 	}
 	fmt.Println(report.RenderStudy(res))
 	return nil
+}
+
+// writeStreamBench writes a streamed run's throughput record in the
+// bench-json schema (a "benchmarks" array plus top-level derived numbers) so
+// scripts/bench_diff.py can diff and gate it like any other perf record. One
+// "op" is one app: ns_per_op is per-app wall time, which stays comparable
+// between the checked-in 10k record and a small CI smoke run.
+func writeStreamBench(path string, st *report.StreamStats) error {
+	if path == "" {
+		return nil
+	}
+	perApp := int64(0)
+	if st.Apps > 0 {
+		perApp = st.Elapsed.Nanoseconds() / int64(st.Apps)
+	}
+	record := struct {
+		Benchmarks []map[string]any `json:"benchmarks"`
+		HostCPUs   int              `json:"host_cpus"`
+		AppsPerSec float64          `json:"apps_per_sec"`
+		PeakHeap   uint64           `json:"peak_heap_bytes"`
+	}{
+		Benchmarks: []map[string]any{{
+			"name":       "FamilyStudyStream",
+			"iterations": st.Apps,
+			"ns_per_op":  perApp,
+			"window":     st.Window,
+			"max_live":   st.MaxLive,
+		}},
+		HostCPUs:   runtime.GOMAXPROCS(0),
+		AppsPerSec: st.AppsPerSec,
+		PeakHeap:   st.PeakHeapBytes,
+	}
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // parseSnapshots maps the -snapshots flag to a memo: "on" uses the default

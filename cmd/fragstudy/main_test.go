@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,6 +67,77 @@ func TestRunStrategySelection(t *testing.T) {
 	}
 	if err := run([]string{"-table1", "-strategy", "monkey"}); err == nil {
 		t.Fatal("-table1 -strategy monkey: want explorer-only error")
+	}
+}
+
+// TestRunStreamedStudy drives the streaming surface end to end: a streamed
+// family study writes a bench-json throughput record whose shape and numbers
+// scripts/bench_diff.py can consume, and a streamed run of the default
+// 217-app corpus also succeeds.
+func TestRunStreamedStudy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.json")
+	err := run([]string{"-corpus", "family", "-n", "40", "-stream",
+		"-window", "5", "-cache", "off", "-streamjson", path})
+	if err != nil {
+		t.Fatalf("run streamed family study: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("stream bench record not written: %v", err)
+	}
+	var record struct {
+		Benchmarks []struct {
+			Name       string `json:"name"`
+			Iterations int    `json:"iterations"`
+			NsPerOp    int64  `json:"ns_per_op"`
+			Window     int    `json:"window"`
+			MaxLive    int    `json:"max_live"`
+		} `json:"benchmarks"`
+		HostCPUs   int     `json:"host_cpus"`
+		AppsPerSec float64 `json:"apps_per_sec"`
+		PeakHeap   uint64  `json:"peak_heap_bytes"`
+	}
+	if err := json.Unmarshal(data, &record); err != nil {
+		t.Fatalf("stream bench record is not valid JSON: %v", err)
+	}
+	if len(record.Benchmarks) != 1 || record.Benchmarks[0].Name != "FamilyStudyStream" {
+		t.Fatalf("bench record shape off: %s", data)
+	}
+	b := record.Benchmarks[0]
+	if b.Iterations != 40 || b.NsPerOp <= 0 || b.Window != 5 || b.MaxLive < 1 || b.MaxLive > 5 {
+		t.Errorf("bench row off: %+v", b)
+	}
+	if record.HostCPUs < 1 || record.AppsPerSec <= 0 || record.PeakHeap == 0 {
+		t.Errorf("derived numbers off: cpus=%d apps/sec=%v peak=%d",
+			record.HostCPUs, record.AppsPerSec, record.PeakHeap)
+	}
+
+	if err := run([]string{"-stream"}); err != nil {
+		t.Fatalf("run -stream over the 217-app study: %v", err)
+	}
+}
+
+// TestRunStreamedLint runs fraglint over a family corpus through the
+// streaming fold.
+func TestRunStreamedLint(t *testing.T) {
+	err := run([]string{"-lint", "-corpus", "family", "-n", "25", "-stream", "-cache", "off"})
+	if err != nil {
+		t.Fatalf("run streamed family lint: %v", err)
+	}
+}
+
+// TestRunCorpusFlagValidation pins the flag boundary of the corpus-scale
+// surface: unknown corpora, non-positive family sizes and -streamjson
+// without -stream are all rejected.
+func TestRunCorpusFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-corpus", "bogus"},
+		{"-corpus", "family", "-n", "0"},
+		{"-streamjson", filepath.Join(t.TempDir(), "s.json")},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
 	}
 }
 

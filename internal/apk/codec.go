@@ -85,6 +85,10 @@ func encodeFilters(w *binc.Writer, fs []manifest.IntentFilter) {
 		for _, c := range f.Categories {
 			w.Str(c.Name)
 		}
+		w.Int(len(f.Data))
+		for _, d := range f.Data {
+			w.Str(d.URI)
+		}
 	}
 }
 
@@ -266,6 +270,12 @@ func decodeFilters(r *binc.Reader) []manifest.IntentFilter {
 			fs[i].Categories = make([]manifest.Category, nc)
 			for j := range fs[i].Categories {
 				fs[i].Categories[j].Name = r.Str()
+			}
+		}
+		if nd := r.Int(); nd > 0 {
+			fs[i].Data = make([]manifest.Data, nd)
+			for j := range fs[i].Data {
+				fs[i].Data[j].URI = r.Str()
 			}
 		}
 	}

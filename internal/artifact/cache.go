@@ -75,6 +75,7 @@ func appendKeySpec(b []byte, s *corpus.AppSpec) []byte {
 		b = keyStr(b, a.RequiresExtra)
 		b = keyBool(b, a.SupportFM)
 		b = keyBool(b, a.PopupOnCreate)
+		b = keyStr(b, a.DeepLink)
 		b = keyStrs(b, a.Sensitive)
 		b = binary.AppendUvarint(b, uint64(len(a.Wires)))
 		for _, w := range a.Wires {
@@ -245,6 +246,33 @@ func (c *Cache) Stats() Stats {
 		IRMisses:    c.irMisses.Load(),
 		IRWrites:    c.irWrites.Load(),
 	}
+}
+
+// Evict drops the in-memory entries (app and extraction) of one spec. The
+// streaming study pipeline calls it after folding an app's results so the
+// cache's live set tracks the pipeline window instead of the whole corpus —
+// without eviction the entry maps pin every built app and extraction until
+// process exit, which is exactly the O(corpus) heap the streamed fold
+// exists to avoid. Persistent-store entries are untouched: a re-lookup
+// misses in memory and reads back from disk. Evicting a spec that is still
+// being computed is safe — the in-flight caller holds its own entry pointer
+// and completes normally; the entry just becomes unreachable for new
+// lookups.
+func (c *Cache) Evict(spec *corpus.AppSpec) {
+	key := Key(spec)
+	c.mu.Lock()
+	delete(c.apps, key)
+	delete(c.exts, key)
+	c.mu.Unlock()
+}
+
+// Live reports the number of in-memory entries currently held (apps plus
+// extractions) — the quantity the streaming pipeline's bounded-memory tests
+// assert stays within the window.
+func (c *Cache) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.apps) + len(c.exts)
 }
 
 // Reset drops all in-memory entries and zeroes the counters. Entries in the

@@ -17,7 +17,7 @@ import (
 func TestKeySpecCoversAllFields(t *testing.T) {
 	pins := map[reflect.Type][]string{
 		reflect.TypeOf(corpus.AppSpec{}):        {"Package", "Downloads", "Activities", "Fragments", "Receivers", "Transition", "Switches", "Packed"},
-		reflect.TypeOf(corpus.ActivitySpec{}):   {"Name", "Launcher", "Isolated", "RequiresExtra", "SupportFM", "PopupOnCreate", "Sensitive", "Wires"},
+		reflect.TypeOf(corpus.ActivitySpec{}):   {"Name", "Launcher", "Isolated", "RequiresExtra", "SupportFM", "PopupOnCreate", "DeepLink", "Sensitive", "Wires"},
 		reflect.TypeOf(corpus.FragmentSpec{}):   {"Name", "RequiresArgs", "Sensitive"},
 		reflect.TypeOf(corpus.ReceiverSpec{}):   {"Name", "Actions", "Sensitive", "StartsActivity"},
 		reflect.TypeOf(corpus.Transition{}):     {"From", "To", "Kind", "Action", "Gate"},

@@ -1,0 +1,128 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fragdroid/internal/corpus"
+)
+
+// TestStoreShardedLayout pins the fan-out: every entry lands under
+// <kind>/<first two hex of its hash>/<hash>.art, never directly in <kind>/.
+func TestStoreShardedLayout(t *testing.T) {
+	s := openTestStore(t)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := s.Save(kindApp, key, []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if flat, _ := filepath.Glob(filepath.Join(s.Dir(), kindApp, "*.art")); len(flat) != 0 {
+		t.Fatalf("entries written outside shard dirs: %v", flat)
+	}
+	sharded, err := filepath.Glob(filepath.Join(s.Dir(), kindApp, "*", "*.art"))
+	if err != nil || len(sharded) != 20 {
+		t.Fatalf("want 20 sharded entries, got %d (err %v)", len(sharded), err)
+	}
+	for _, p := range sharded {
+		shard := filepath.Base(filepath.Dir(p))
+		name := filepath.Base(p)
+		if len(shard) != 2 || name[:2] != shard {
+			t.Fatalf("entry %s not in its hash-prefix shard", p)
+		}
+	}
+}
+
+// flatPathFor computes the pre-sharding location of an entry, mirroring what
+// older builds wrote.
+func flatPathFor(s *Store, kind, key string) string {
+	sum := sha256.Sum256([]byte(kind + "\x00" + key))
+	return filepath.Join(s.Dir(), kind, hex.EncodeToString(sum[:])+".art")
+}
+
+// TestStoreFlatEntryMigratesOnLoad simulates a store written by a
+// pre-sharding build: the entry sits directly under <kind>/. Load must serve
+// it and move it into the sharded layout, after which the flat file is gone
+// and a second Load hits the sharded path directly.
+func TestStoreFlatEntryMigratesOnLoad(t *testing.T) {
+	s := openTestStore(t)
+	payload := []byte("legacy payload")
+	if err := s.Save(kindApp, "old-key", payload); err != nil {
+		t.Fatal(err)
+	}
+	sharded := entryFile(t, s, kindApp, "old-key")
+	flat := flatPathFor(s, kindApp, "old-key")
+	if err := os.Rename(sharded, flat); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := s.Load(kindApp, "old-key")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("flat entry not served: ok=%v payload=%q", ok, got)
+	}
+	if _, err := os.Stat(flat); !os.IsNotExist(err) {
+		t.Errorf("flat entry not migrated away (stat err %v)", err)
+	}
+	if _, err := os.Stat(sharded); err != nil {
+		t.Errorf("migrated entry missing at sharded path: %v", err)
+	}
+	if got, ok := s.Load(kindApp, "old-key"); !ok || string(got) != string(payload) {
+		t.Fatalf("post-migration load failed: ok=%v payload=%q", ok, got)
+	}
+}
+
+// TestStoreCorruptFlatEntryIsMiss keeps the silent-miss contract across the
+// fallback path: a damaged flat entry reads as a miss, is not migrated, and
+// the subsequent Save repairs into the sharded layout without error.
+func TestStoreCorruptFlatEntryIsMiss(t *testing.T) {
+	s := openTestStore(t)
+	flat := flatPathFor(s, kindApp, "bad-key")
+	if err := os.WriteFile(flat, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Load(kindApp, "bad-key"); ok {
+		t.Fatalf("corrupt flat entry loaded: %q", got)
+	}
+	if err := s.Save(kindApp, "bad-key", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Load(kindApp, "bad-key"); !ok || string(got) != "fresh" {
+		t.Fatalf("repaired entry not served: ok=%v payload=%q", ok, got)
+	}
+}
+
+// TestCacheEvict pins the release contract the streaming fold depends on:
+// Evict drops a spec's in-memory entries (Live goes back to zero) while the
+// persistent store keeps serving, so a re-lookup is a disk hit, not a
+// rebuild.
+func TestCacheEvict(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewPersistentCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := corpus.DemoSpec()
+	if _, err := c.App(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Extraction(spec); err != nil {
+		t.Fatal(err)
+	}
+	if live := c.Live(); live != 2 {
+		t.Fatalf("Live=%d before eviction, want 2", live)
+	}
+	c.Evict(spec)
+	if live := c.Live(); live != 0 {
+		t.Fatalf("Live=%d after eviction, want 0", live)
+	}
+	if _, err := c.App(spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Builds != 1 || st.DiskHits == 0 {
+		t.Errorf("post-eviction lookup rebuilt instead of disk-loading: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 )
 
 // The on-disk entry format, version 1:
@@ -42,7 +43,7 @@ const (
 	// in a way that alters built apps — MUST bump the corresponding version
 	// here. A bump changes the fingerprint, every existing entry turns
 	// stale, and the next run rebuilds and overwrites.
-	appCodecVersion        = 1
+	appCodecVersion        = 2 // v2: intent filters carry deep-link data elements
 	extractionCodecVersion = 3 // v3: the embedded AFTM model blob is binc, not JSON
 
 	// snapshotCodecVersion versions the persistent device-snapshot payloads
@@ -81,6 +82,10 @@ func Fingerprint() string {
 // sharing the directory.
 type Store struct {
 	dir string
+
+	// shardDirs memoizes shard directories already MkdirAll'd by this Store,
+	// so a corpus-scale run pays one mkdir syscall per shard, not per entry.
+	shardDirs sync.Map // string -> struct{}
 }
 
 // OpenStore opens (creating if needed) the store rooted at dir.
@@ -99,10 +104,35 @@ func OpenStore(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// entryPath maps (kind, key) to the entry's file path.
+// entryPath maps (kind, key) to the entry's file path. The keyspace fans out
+// into 256 shard subdirectories per kind — <kind>/<first 2 hex of hash>/ — so
+// a 10k-app corpus leaves ~40 entries per directory instead of piling tens of
+// thousands of files into one, which degrades directory lookups and listing
+// on most filesystems.
 func (s *Store) entryPath(kind, key string) string {
 	sum := sha256.Sum256([]byte(kind + "\x00" + key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, kind, name[:2], name+".art")
+}
+
+// flatEntryPath is the pre-sharding location of an entry — everything
+// directly under <kind>/. Load falls back to it and migrates hits into the
+// sharded layout, so stores written by older builds stay warm.
+func (s *Store) flatEntryPath(kind, key string) string {
+	sum := sha256.Sum256([]byte(kind + "\x00" + key))
 	return filepath.Join(s.dir, kind, hex.EncodeToString(sum[:])+".art")
+}
+
+// ensureShardDir creates an entry's shard directory once per Store lifetime.
+func (s *Store) ensureShardDir(dir string) error {
+	if _, ok := s.shardDirs.Load(dir); ok {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.shardDirs.Store(dir, struct{}{})
+	return nil
 }
 
 // Save writes an entry atomically: temp file in the destination directory,
@@ -111,6 +141,9 @@ func (s *Store) entryPath(kind, key string) string {
 // rename wins.
 func (s *Store) Save(kind, key string, payload []byte) error {
 	path := s.entryPath(kind, key)
+	if err := s.ensureShardDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("artifact: save %s: %w", kind, err)
+	}
 	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("artifact: save %s: %w", kind, err)
@@ -145,9 +178,34 @@ func (s *Store) Save(kind, key string, payload []byte) error {
 // Load reads an entry's payload. The boolean result reports a usable hit;
 // any integrity problem — missing file, foreign magic, stale fingerprint,
 // kind/key mismatch, truncation, checksum failure — reads as a miss so the
-// caller rebuilds (and, on the next Save, repairs) the entry.
+// caller rebuilds (and, on the next Save, repairs) the entry. A miss at the
+// sharded path falls back to the pre-sharding flat location; a verified flat
+// hit is served and migrated (renamed) into the sharded layout, so old
+// stores warm up the new layout one entry at a time. A corrupt flat entry is
+// a plain miss, exactly as it was under the flat layout — the rebuild's Save
+// writes to the sharded path and the stale flat file is simply never read as
+// valid again.
 func (s *Store) Load(kind, key string) ([]byte, bool) {
-	data, err := os.ReadFile(s.entryPath(kind, key))
+	if payload, ok := s.loadFile(s.entryPath(kind, key), kind, key); ok {
+		return payload, true
+	}
+	flat := s.flatEntryPath(kind, key)
+	payload, ok := s.loadFile(flat, kind, key)
+	if !ok {
+		return nil, false
+	}
+	// Migrate the verified entry into the sharded layout; best-effort — a
+	// failed rename just means the next Load pays the fallback again.
+	sharded := s.entryPath(kind, key)
+	if err := s.ensureShardDir(filepath.Dir(sharded)); err == nil {
+		os.Rename(flat, sharded)
+	}
+	return payload, true
+}
+
+// loadFile reads and verifies one entry file; any problem is a miss.
+func (s *Store) loadFile(path, kind, key string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}

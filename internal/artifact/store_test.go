@@ -40,10 +40,11 @@ func TestStoreSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
-// entryFile locates the single on-disk file behind a saved entry.
+// entryFile locates the single on-disk file behind a saved entry, wherever
+// it lives under the kind's (sharded) directory tree.
 func entryFile(t *testing.T, s *Store, kind, key string) string {
 	t.Helper()
-	matches, err := filepath.Glob(filepath.Join(s.Dir(), kind, "*.art"))
+	matches, err := filepath.Glob(filepath.Join(s.Dir(), kind, "*", "*.art"))
 	if err != nil || len(matches) != 1 {
 		t.Fatalf("want exactly one %s entry on disk, got %v (err %v)", kind, matches, err)
 	}

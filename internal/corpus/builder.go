@@ -279,6 +279,16 @@ func (g *generator) buildManifest() *manifest.Manifest {
 				})
 			}
 		}
+		if a.DeepLink != "" {
+			act.Filters = append(act.Filters, manifest.IntentFilter{
+				Actions: []manifest.Action{{Name: manifest.ActionView}},
+				Categories: []manifest.Category{
+					{Name: manifest.CategoryDefault},
+					{Name: manifest.CategoryBrowsable},
+				},
+				Data: []manifest.Data{{URI: a.DeepLink}},
+			})
+		}
 		m.Application.Activities = append(m.Application.Activities, act)
 	}
 	for _, r := range g.spec.Receivers {

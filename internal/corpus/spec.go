@@ -104,6 +104,10 @@ type ActivitySpec struct {
 	// PopupOnCreate opens an action-bar popup in onCreate, interfering with
 	// UI driving (the com.adobe.reader app-bar behaviour).
 	PopupOnCreate bool
+	// DeepLink declares a URI this activity accepts through a VIEW intent
+	// filter (e.g. "app://pkg/act"), making it an external entry point
+	// alongside the launcher — the family corpus' deep-link scenario axis.
+	DeepLink string
 	// Sensitive lists sensitive APIs invoked in onCreate.
 	Sensitive []string
 	// Wires lists the fragments hosted by this activity.
@@ -154,6 +158,7 @@ func (s *AppSpec) Validate() error {
 		return fmt.Errorf("corpus: spec without package")
 	}
 	acts := make(map[string]*ActivitySpec, len(s.Activities))
+	links := make(map[string]string)
 	launchers := 0
 	for i := range s.Activities {
 		a := &s.Activities[i]
@@ -166,6 +171,13 @@ func (s *AppSpec) Validate() error {
 		acts[a.Name] = a
 		if a.Launcher {
 			launchers++
+		}
+		if a.DeepLink != "" {
+			if other, dup := links[a.DeepLink]; dup {
+				return fmt.Errorf("corpus: %s: deep link %s claimed by both %s and %s",
+					s.Package, a.DeepLink, other, a.Name)
+			}
+			links[a.DeepLink] = a.Name
 		}
 	}
 	if launchers != 1 {

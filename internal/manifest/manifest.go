@@ -18,7 +18,10 @@ import (
 // Well-known intent actions and categories.
 const (
 	ActionMain       = "android.intent.action.MAIN"
+	ActionView       = "android.intent.action.VIEW"
 	CategoryLauncher = "android.intent.category.LAUNCHER"
+	CategoryBrowsable = "android.intent.category.BROWSABLE"
+	CategoryDefault   = "android.intent.category.DEFAULT"
 )
 
 // Manifest is the parsed AndroidManifest.xml.
@@ -65,6 +68,14 @@ type Activity struct {
 type IntentFilter struct {
 	Actions    []Action   `xml:"action"`
 	Categories []Category `xml:"category"`
+	// Data lists the deep-link URIs the filter matches (the synthetic format
+	// collapses android:scheme/host/path into one uri attribute).
+	Data []Data `xml:"data"`
+}
+
+// Data is an intent-filter data element carrying a deep-link URI.
+type Data struct {
+	URI string `xml:"uri,attr"`
 }
 
 // Action is an intent-filter action element.
@@ -238,6 +249,61 @@ func (m *Manifest) ActivityForAction(action string) (string, bool) {
 	return "", false
 }
 
+// ActivityForURI resolves a deep-link URI to the first declared activity
+// whose VIEW intent filter carries a matching data element — the entry-point
+// lookup a deep-link launch performs. The boolean result reports success.
+func (m *Manifest) ActivityForURI(uri string) (string, bool) {
+	for _, a := range m.Application.Activities {
+		for _, f := range a.Filters {
+			viewOK := false
+			for _, act := range f.Actions {
+				if act.Name == ActionView {
+					viewOK = true
+					break
+				}
+			}
+			if !viewOK {
+				continue
+			}
+			for _, d := range f.Data {
+				if d.URI == uri {
+					return a.Name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// DeepLinkURIs lists every URI some activity's VIEW filter matches, sorted
+// and deduplicated — the deep-link entry vocabulary of the app.
+func (m *Manifest) DeepLinkURIs() []string {
+	set := make(map[string]bool)
+	for _, a := range m.Application.Activities {
+		for _, f := range a.Filters {
+			viewOK := false
+			for _, act := range f.Actions {
+				if act.Name == ActionView {
+					viewOK = true
+					break
+				}
+			}
+			if !viewOK {
+				continue
+			}
+			for _, d := range f.Data {
+				set[d.URI] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ForceStartable reports whether the activity may be started directly with an
 // explicit component intent from outside the app: it must be exported or
 // carry a MAIN action.
@@ -280,6 +346,7 @@ func (m *Manifest) Clone() *Manifest {
 			nr.Filters[j] = IntentFilter{
 				Actions:    append([]Action(nil), f.Actions...),
 				Categories: append([]Category(nil), f.Categories...),
+				Data:       append([]Data(nil), f.Data...),
 			}
 		}
 		cp.Application.Receivers[i] = nr
@@ -292,6 +359,7 @@ func (m *Manifest) Clone() *Manifest {
 			nf := IntentFilter{
 				Actions:    append([]Action(nil), f.Actions...),
 				Categories: append([]Category(nil), f.Categories...),
+				Data:       append([]Data(nil), f.Data...),
 			}
 			na.Filters[j] = nf
 		}

@@ -60,6 +60,16 @@ type EvalConfig struct {
 	// engine: values above 1 run warming devices alongside each engine's
 	// main loop. Results are identical for any value; requires Snapshots.
 	Devices int
+	// Stream schedules the corpus through the streaming pipeline: a bounded
+	// window of in-flight apps, each folded into the result in corpus order
+	// as it completes, with its snapshot pack flushed and released right
+	// after the fold instead of in one end-of-run Flush. Every result and
+	// derived table is bit-identical to the staged run; only scheduling and
+	// the memo's live set change.
+	Stream bool
+	// Window bounds in-flight apps in streaming mode; zero derives a default
+	// from the stage limits. Ignored without Stream.
+	Window int
 }
 
 // attachPersistence wires the artifact store under the shared memo when
@@ -166,7 +176,7 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 		specs[i] = corpus.PaperSpec(rows[i])
 	}
 
-	runStaged(len(rows), []stage{
+	stages := []stage{
 		{limit: limits.Build, fn: func(i int) bool {
 			app, err := cache.App(specs[i])
 			if err != nil {
@@ -218,14 +228,31 @@ func RunEvaluation(cfg EvalConfig) (*Evaluation, error) {
 			results[i] = AppResult{Row: rows[i], App: apps[i], Outcome: out}
 			return true
 		}},
-	})
+	}
+	if cfg.Stream {
+		window := cfg.Window
+		if window <= 0 {
+			window = streamWindow(limits)
+		}
+		runStreamed(len(rows), window, stages, func(i int) {
+			// The app is fully folded (its positional result slot is final);
+			// flush and drop its snapshot pack now, so the memo's live set
+			// tracks the window instead of the corpus.
+			if cfg.Snapshots != nil && apps[i] != nil {
+				_ = cfg.Snapshots.ReleaseApp(apps[i])
+			}
+		})
+	} else {
+		runStaged(len(rows), stages)
+	}
 
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
-	if cfg.PersistSnapshots && cfg.Snapshots != nil {
+	if cfg.PersistSnapshots && cfg.Snapshots != nil && !cfg.Stream {
 		// Persisted packs hit disk once per app here, not once per store; a
-		// flush failure only costs the next run its warm start.
+		// flush failure only costs the next run its warm start. (Streamed
+		// runs already flushed incrementally, app by app.)
 		_ = cfg.Snapshots.Flush()
 	}
 	return &Evaluation{Strategy: strat, Apps: results}, nil
@@ -341,6 +368,21 @@ type StudyConfig struct {
 	Stages StageLimits
 	// Cache memoizes app builds across runs. Nil means artifact.Default.
 	Cache *artifact.Cache
+	// Source optionally overrides the corpus: any random-access spec source —
+	// typically corpus.NewFamily for corpus-scale runs — instead of the fixed
+	// 217-app corpus.StudySpecs(Seed). With a lazy source and Stream set, the
+	// run never materializes a spec slice.
+	Source corpus.SpecSource
+	// Stream switches the run from the positional fold (one result slot per
+	// app, peak heap O(corpus)) to the streaming fold: a bounded window of
+	// in-flight apps, each folded into the aggregate in dataset order and
+	// then released — evicted from the artifact cache, its spec, app and IR
+	// program dropped. Peak heap is O(Window), and every derived number is
+	// bit-identical to the positional fold (the two paths share one fold).
+	Stream bool
+	// Window bounds in-flight apps in streaming mode; zero derives a default
+	// from the stage limits. Ignored without Stream.
+	Window int
 }
 
 // RunStudy performs the 217-app study sequentially with the default cache.
@@ -348,14 +390,82 @@ func RunStudy(seed int64) (*StudyResult, error) {
 	return RunStudyWith(StudyConfig{Seed: seed})
 }
 
+// studyFold accumulates the study aggregate one app at a time, in dataset
+// order. Both the positional fold (RunStudyWith) and the streaming fold
+// (RunStudyStreamed) run every app through this exact code, which is what
+// makes their results bit-identical by construction rather than by test
+// luck: the only thing streaming changes is when an app's outcome reaches
+// add, never what add does with it.
+type studyFold struct {
+	res  *StudyResult
+	cats map[string]*CategoryStat
+}
+
+func newStudyFold(total int) *studyFold {
+	return &studyFold{
+		res:  &StudyResult{Total: total},
+		cats: make(map[string]*CategoryStat),
+	}
+}
+
+// add folds one app's outcome into the aggregate.
+func (f *studyFold) add(pkg string, packed, fragments bool) {
+	cat := categoryOf(pkg)
+	cs := f.cats[cat]
+	if cs == nil {
+		cs = &CategoryStat{Category: cat}
+		f.cats[cat] = cs
+	}
+	if packed {
+		f.res.Packed++
+		return
+	}
+	f.res.Analyzable++
+	cs.Apps++
+	if fragments {
+		f.res.WithFragments++
+		cs.WithFragments++
+	}
+}
+
+// finish seals the aggregate: the per-category breakdown sorts by app count
+// descending then name, so the order is deterministic even though the
+// category map is not.
+func (f *studyFold) finish() *StudyResult {
+	for _, cs := range f.cats {
+		if cs.Apps > 0 {
+			f.res.ByCategory = append(f.res.ByCategory, *cs)
+		}
+	}
+	sort.Slice(f.res.ByCategory, func(i, j int) bool {
+		a, b := f.res.ByCategory[i], f.res.ByCategory[j]
+		if a.Apps != b.Apps {
+			return a.Apps > b.Apps
+		}
+		return a.Category < b.Category
+	})
+	return f.res
+}
+
 // RunStudyWith performs the §VII-A study: build each app (packed apps fail
 // decompilation, as in the paper) and statically scan the class hierarchy for
 // Fragment subclass usage. The build and scan stages pipeline independently
 // (cfg.Stages, defaulting to cfg.Parallel); the fold over outcomes is always
 // sequential in dataset order, so counts and the ByCategory breakdown match
-// a serial run exactly.
+// a serial run exactly. With cfg.Stream the run delegates to the streaming
+// fold (bounded live set, same numbers); without it, outcomes are collected
+// positionally — peak heap O(corpus), fine for the 217-app dataset.
 func RunStudyWith(cfg StudyConfig) (*StudyResult, error) {
-	specs := corpus.StudySpecs(cfg.Seed)
+	if cfg.Stream {
+		res, _, err := RunStudyStreamed(cfg)
+		return res, err
+	}
+	src := cfg.source()
+	n := src.Len()
+	specs := make([]*corpus.AppSpec, n)
+	for i := range specs {
+		specs[i] = src.At(i)
+	}
 	cache := cfg.cacheOrDefault()
 	limits := cfg.Stages.withDefault(cfg.Parallel)
 
@@ -363,10 +473,10 @@ func RunStudyWith(cfg StudyConfig) (*StudyResult, error) {
 		packed    bool
 		fragments bool
 	}
-	apps := make([]*apk.App, len(specs))
-	outs := make([]outcome, len(specs))
-	errs := make([]error, len(specs))
-	runStaged(len(specs), []stage{
+	apps := make([]*apk.App, n)
+	outs := make([]outcome, n)
+	errs := make([]error, n)
+	runStaged(n, []stage{
 		{limit: limits.Build, fn: func(i int) bool {
 			app, err := cache.App(specs[i])
 			if errors.Is(err, apk.ErrPacked) {
@@ -389,39 +499,11 @@ func RunStudyWith(cfg StudyConfig) (*StudyResult, error) {
 		return nil, err
 	}
 
-	res := &StudyResult{Total: len(specs)}
-	cats := make(map[string]*CategoryStat)
-	for i, spec := range specs {
-		cat := categoryOf(spec.Package)
-		cs := cats[cat]
-		if cs == nil {
-			cs = &CategoryStat{Category: cat}
-			cats[cat] = cs
-		}
-		if outs[i].packed {
-			res.Packed++
-			continue
-		}
-		res.Analyzable++
-		cs.Apps++
-		if outs[i].fragments {
-			res.WithFragments++
-			cs.WithFragments++
-		}
+	fold := newStudyFold(n)
+	for i := range specs {
+		fold.add(specs[i].Package, outs[i].packed, outs[i].fragments)
 	}
-	for _, cs := range cats {
-		if cs.Apps > 0 {
-			res.ByCategory = append(res.ByCategory, *cs)
-		}
-	}
-	sort.Slice(res.ByCategory, func(i, j int) bool {
-		a, b := res.ByCategory[i], res.ByCategory[j]
-		if a.Apps != b.Apps {
-			return a.Apps > b.Apps
-		}
-		return a.Category < b.Category
-	})
-	return res, nil
+	return fold.finish(), nil
 }
 
 func (cfg StudyConfig) cacheOrDefault() *artifact.Cache {
@@ -429,6 +511,15 @@ func (cfg StudyConfig) cacheOrDefault() *artifact.Cache {
 		return cfg.Cache
 	}
 	return artifact.Default
+}
+
+// source resolves the corpus: an explicit Source wins, else the fixed
+// 217-app study corpus for Seed.
+func (cfg StudyConfig) source() corpus.SpecSource {
+	if cfg.Source != nil {
+		return cfg.Source
+	}
+	return corpus.SliceSource(corpus.StudySpecs(cfg.Seed))
 }
 
 // categoryOf extracts the study category from a generated package name

@@ -134,22 +134,117 @@ type LintStudy struct {
 	Worst lint.Severity
 }
 
-// RunLintStudy lints every analyzable app of the dataset study, through the
-// same artifact cache (and with the same staged pipeline and positional fold)
-// as the other corpus runs.
-func RunLintStudy(cfg StudyConfig) (*LintStudy, error) {
-	specs := corpus.StudySpecs(cfg.Seed)
-	cache := cfg.cacheOrDefault()
-	limits := cfg.Stages.withDefault(cfg.Parallel)
+// newLintStudy returns an empty aggregate for total apps.
+func newLintStudy(total int) *LintStudy {
+	return &LintStudy{
+		Total:      total,
+		ByCode:     make(map[string]int),
+		BySeverity: make(map[string]int),
+	}
+}
 
+// add folds one app's lint outcome into the aggregate. Both the positional
+// and the streaming paths fold through here, so their summaries are
+// identical by construction.
+func (s *LintStudy) add(packed bool, diags []lint.Diagnostic) {
+	if packed {
+		s.Packed++
+		return
+	}
+	s.Analyzed++
+	if len(diags) > 0 {
+		s.AppsWithFindings++
+	}
+	for _, d := range diags {
+		s.Findings++
+		s.ByCode[d.Code]++
+		s.BySeverity[d.Severity.String()]++
+		if d.Severity > s.Worst {
+			s.Worst = d.Severity
+		}
+	}
+}
+
+// RunLintStudy lints every analyzable app of the dataset study, through the
+// same artifact cache (and with the same staged pipeline and sequential
+// in-order fold) as the other corpus runs. cfg.Source overrides the corpus
+// and cfg.Stream selects the bounded-memory streaming fold, exactly as in
+// RunStudyWith: extractions are linted as they complete and released right
+// after folding, so a corpus-scale lint sweep holds O(Window) extractions.
+func RunLintStudy(cfg StudyConfig) (*LintStudy, error) {
+	src := cfg.source()
+	n := src.Len()
+	cache := cfg.cacheOrDefault()
+	parallel := cfg.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+	limits := cfg.Stages.withDefault(parallel)
+
+	if cfg.Stream {
+		window := cfg.Window
+		if window <= 0 {
+			window = streamWindow(limits)
+		}
+		type slot struct {
+			spec   *corpus.AppSpec
+			ex     *statics.Extraction
+			packed bool
+			diags  []lint.Diagnostic
+			err    error
+		}
+		slots := make([]slot, window)
+		s := newLintStudy(n)
+		var errs []error
+		runStreamed(n, window, []stage{
+			{limit: limits.Extract, fn: func(i int) bool {
+				sl := &slots[i%window]
+				*sl = slot{spec: src.At(i)}
+				ex, err := cache.Extraction(sl.spec)
+				if errors.Is(err, apk.ErrPacked) {
+					sl.packed = true
+					return false
+				}
+				if err != nil {
+					sl.err = fmt.Errorf("report: lint study %s: %w", sl.spec.Package, err)
+					return false
+				}
+				sl.ex = ex
+				return true
+			}},
+			{limit: limits.Run, fn: func(i int) bool {
+				sl := &slots[i%window]
+				sl.diags = lint.Run(sl.ex)
+				return true
+			}},
+		}, func(i int) {
+			sl := &slots[i%window]
+			if sl.err != nil {
+				errs = append(errs, sl.err)
+			} else {
+				s.add(sl.packed, sl.diags)
+			}
+			cache.Evict(sl.spec)
+			*sl = slot{}
+		})
+		if err := errors.Join(errs...); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	specs := make([]*corpus.AppSpec, n)
+	for i := range specs {
+		specs[i] = src.At(i)
+	}
 	type outcome struct {
 		packed bool
 		diags  []lint.Diagnostic
 	}
-	exs := make([]*statics.Extraction, len(specs))
-	outs := make([]outcome, len(specs))
-	errs := make([]error, len(specs))
-	runStaged(len(specs), []stage{
+	exs := make([]*statics.Extraction, n)
+	outs := make([]outcome, n)
+	errs := make([]error, n)
+	runStaged(n, []stage{
 		{limit: limits.Extract, fn: func(i int) bool {
 			ex, err := cache.Extraction(specs[i])
 			if errors.Is(err, apk.ErrPacked) {
@@ -172,28 +267,9 @@ func RunLintStudy(cfg StudyConfig) (*LintStudy, error) {
 		return nil, err
 	}
 
-	s := &LintStudy{
-		Total:      len(specs),
-		ByCode:     make(map[string]int),
-		BySeverity: make(map[string]int),
-	}
+	s := newLintStudy(n)
 	for _, o := range outs {
-		if o.packed {
-			s.Packed++
-			continue
-		}
-		s.Analyzed++
-		if len(o.diags) > 0 {
-			s.AppsWithFindings++
-		}
-		for _, d := range o.diags {
-			s.Findings++
-			s.ByCode[d.Code]++
-			s.BySeverity[d.Severity.String()]++
-			if d.Severity > s.Worst {
-				s.Worst = d.Severity
-			}
-		}
+		s.add(o.packed, o.diags)
 	}
 	return s, nil
 }

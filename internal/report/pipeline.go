@@ -1,6 +1,9 @@
 package report
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The corpus runs are staged pipelines: every app flows through up to three
 // stages — build (corpus generation or store load), extract (static
@@ -63,6 +66,106 @@ type stage struct {
 // through the stages in order without barriers between items; per-stage
 // semaphores bound how many items occupy a stage at once. With every limit
 // at most one the items run strictly sequentially on the calling goroutine.
+// runStreamed drives items 0..n-1 through the stages like runStaged, but
+// with two differences that turn the positional fold into a streaming one:
+//
+//   - Admission control. At most window items are in flight (admitted, not
+//     yet folded) at any moment, enforced by a counting semaphore whose token
+//     is released only AFTER the item's fold completes. A worker goroutine
+//     exists only per in-flight item, so a 10k-app corpus runs on window
+//     goroutines, not 10k.
+//
+//   - Incremental fold. Each completed item is handed to fold exactly once,
+//     in index order, on the calling goroutine — the same sequential,
+//     deterministic fold discipline as the positional slices, minus the
+//     slices. Out-of-order completions park in a pending set bounded by
+//     window.
+//
+// Together these give callers a ring-buffer contract: state for item i may
+// live in a slot indexed i%window, because item i+window is admitted only
+// after fold(i) has returned and released its token — a slot is never
+// touched by two live items at once.
+//
+// The return value is the high-water mark of in-flight items (≤ window by
+// construction); bounded-memory tests assert on it. With window <= 1 or
+// every stage limit at 1, items run strictly sequentially on the calling
+// goroutine.
+func runStreamed(n, window int, stages []stage, fold func(i int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if window < 1 {
+		window = 1
+	}
+	serial := window == 1
+	if !serial {
+		serial = true
+		for _, s := range stages {
+			if s.limit > 1 {
+				serial = false
+			}
+		}
+	}
+	if serial {
+		for i := 0; i < n; i++ {
+			for _, s := range stages {
+				if !s.fn(i) {
+					break
+				}
+			}
+			fold(i)
+		}
+		return 1
+	}
+	sems := make([]chan struct{}, len(stages))
+	for j, s := range stages {
+		if s.limit > 0 {
+			sems[j] = make(chan struct{}, s.limit)
+		}
+	}
+	admit := make(chan struct{}, window)
+	done := make(chan int)
+	var admitted atomic.Int64
+	go func() {
+		for i := 0; i < n; i++ {
+			admit <- struct{}{}
+			admitted.Add(1)
+			go func(i int) {
+				for j, s := range stages {
+					if sems[j] != nil {
+						sems[j] <- struct{}{}
+					}
+					ok := s.fn(i)
+					if sems[j] != nil {
+						<-sems[j]
+					}
+					if !ok {
+						break
+					}
+				}
+				done <- i
+			}(i)
+		}
+	}()
+	next := 0
+	maxLive := 0
+	pending := make(map[int]bool, window)
+	for next < n {
+		i := <-done
+		pending[i] = true
+		if live := int(admitted.Load()) - next; live > maxLive {
+			maxLive = live
+		}
+		for pending[next] {
+			delete(pending, next)
+			fold(next)
+			next++
+			<-admit
+		}
+	}
+	return maxLive
+}
+
 func runStaged(n int, stages []stage) {
 	serial := true
 	for _, s := range stages {

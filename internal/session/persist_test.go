@@ -26,7 +26,7 @@ func openStore(t *testing.T) *artifact.Store {
 // snapshotFiles lists the persisted snapshot entries under a store.
 func snapshotFiles(t *testing.T, st *artifact.Store) []string {
 	t.Helper()
-	files, err := filepath.Glob(filepath.Join(st.Dir(), "snapshot", "*.art"))
+	files, err := filepath.Glob(filepath.Join(st.Dir(), "snapshot", "*", "*.art"))
 	if err != nil {
 		t.Fatal(err)
 	}

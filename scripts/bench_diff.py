@@ -3,7 +3,7 @@
 benchmark.
 
 Usage:
-    bench_diff.py OLD.json NEW.json [--min-ratio KEY:FLOOR]...
+    bench_diff.py OLD.json NEW.json [--min-ratio=KEY:FLOOR]... [--min-rel=KEY:FRAC]...
 
 Both inputs are the JSON `make bench-json` emits: a "benchmarks" array of
 objects keyed by benchmark name, plus top-level derived ratios
@@ -19,6 +19,12 @@ least FLOOR and fails the run otherwise. CI uses this as a parity floor on
 short smoke runs, where absolute ns/op is too noisy to gate on but a
 derived ratio collapsing (e.g. persistent_speedup dropping well below 1.0
 because warm pack decoding regressed) is still a reliable signal.
+
+Each --min-rel KEY:FRAC asserts that NEW's top-level number KEY is at least
+FRAC times OLD's — a relative floor for host-dependent throughput numbers
+such as apps_per_sec, where no absolute floor is portable but a collapse to
+a small fraction of the checked-in record (streaming pipeline gone serial,
+release leak thrashing the GC) is still detectable with a generous FRAC.
 """
 
 import json
@@ -46,18 +52,21 @@ def fmt_delta(old, new):
 
 def main(argv):
     floors = []
+    rel_floors = []
     paths = []
     for arg in argv:
-        if arg.startswith("--min-ratio"):
+        if arg.startswith("--min-ratio") or arg.startswith("--min-rel"):
+            opt = arg.split("=", 1)[0]
             spec = arg.split("=", 1)[1] if "=" in arg else None
             if spec is None:
-                sys.exit("bench_diff: --min-ratio needs KEY:FLOOR "
-                         "(use --min-ratio=KEY:FLOOR)")
+                sys.exit(f"bench_diff: {opt} needs KEY:FLOOR "
+                         f"(use {opt}=KEY:FLOOR)")
             key, _, floor = spec.partition(":")
             try:
-                floors.append((key, float(floor)))
+                dest = floors if opt == "--min-ratio" else rel_floors
+                dest.append((key, float(floor)))
             except ValueError:
-                sys.exit(f"bench_diff: bad --min-ratio floor {floor!r}")
+                sys.exit(f"bench_diff: bad {opt} floor {floor!r}")
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -107,6 +116,19 @@ def main(argv):
             failed = True
         else:
             print(f"ok: {key} = {got} >= {floor}")
+    for key, frac in rel_floors:
+        got, ref = new.get(key), old.get(key)
+        if not isinstance(got, (int, float)):
+            print(f"FAIL: {new_path} has no number {key!r}")
+            failed = True
+        elif not isinstance(ref, (int, float)):
+            print(f"FAIL: {old_path} has no number {key!r} to compare against")
+            failed = True
+        elif got < frac * ref:
+            print(f"FAIL: {key} = {got} < {frac} * old {ref}")
+            failed = True
+        else:
+            print(f"ok: {key} = {got} >= {frac} * old {ref}")
     return 1 if failed else 0
 
 

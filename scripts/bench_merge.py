@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Merge bench-json records (see `make bench-json`) into one.
+
+Usage:
+    bench_merge.py A.json B.json [C.json ...] > MERGED.json
+
+The "benchmarks" arrays are concatenated in argument order (a duplicate
+benchmark name across inputs is an error — the merged record must stay
+unambiguous for bench_diff.py, which keys on the name). Top-level scalars
+(derived ratios, host_cpus, apps_per_sec, ...) are merged last-wins, so a
+later record can refresh a number an earlier one also carries.
+
+`make bench-json` uses this to fold the go-test microbenchmark record and
+the fragstudy -streamjson corpus-scale throughput record into the single
+checked-in BENCH_PR10.json.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__.strip())
+    merged = {"benchmarks": []}
+    seen = set()
+    for path in argv:
+        with open(path) as f:
+            data = json.load(f)
+        if "benchmarks" not in data:
+            sys.exit(f"bench_merge: {path}: no \"benchmarks\" array "
+                     "(not a bench-json record?)")
+        for b in data["benchmarks"]:
+            if b["name"] in seen:
+                sys.exit(f"bench_merge: duplicate benchmark {b['name']!r} "
+                         f"in {path}")
+            seen.add(b["name"])
+            merged["benchmarks"].append(b)
+        for k, v in data.items():
+            if k != "benchmarks":
+                merged[k] = v
+    json.dump(merged, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
